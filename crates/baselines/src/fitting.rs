@@ -1,0 +1,205 @@
+//! Light-curve template fitting shared by the baselines.
+
+use snia_lightcurve::{Band, LightCurve, SnParams, SnType};
+
+/// A photometric measurement used by the fitters (magnitudes, as the
+/// feature classifiers see them).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Observation {
+    /// Band of the measurement.
+    pub band: Band,
+    /// Observation MJD.
+    pub mjd: f64,
+    /// Measured magnitude (clamped to the detection range by the caller).
+    pub mag: f64,
+}
+
+/// Faint-side clamp applied to both data and model (an undetected SN is
+/// "mag 30" regardless of how faint the template says it should be).
+pub const FIT_MAG_LIMIT: f64 = 30.0;
+
+/// Result of fitting one type's template family to an observation set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitResult {
+    /// Minimum chi-square over the grid.
+    pub chi2: f64,
+    /// Best-fit peak MJD.
+    pub peak_mjd: f64,
+    /// Best-fit stretch.
+    pub stretch: f64,
+    /// Best-fit grey magnitude offset.
+    pub offset: f64,
+}
+
+/// Template magnitude for a hypothesis, clamped to the detection range.
+pub fn predicted_mag(
+    sn_type: SnType,
+    z: f64,
+    stretch: f64,
+    peak_mjd: f64,
+    band: Band,
+    mjd: f64,
+) -> f64 {
+    let lc = LightCurve::new(SnParams {
+        sn_type,
+        redshift: z,
+        stretch,
+        color: 0.0,
+        peak_mjd,
+        mag_offset: 0.0,
+    });
+    lc.mag(band, mjd).min(FIT_MAG_LIMIT)
+}
+
+/// The default stretch grid used by the fitters.
+pub const STRETCH_GRID: [f64; 3] = [0.8, 1.0, 1.2];
+
+/// Fits one type's template family by grid search over peak date and
+/// stretch with the grey offset solved in closed form per grid point
+/// (`offset* = mean residual` minimises the chi-square).
+///
+/// `sigma` is the per-point magnitude uncertainty.
+///
+/// # Panics
+///
+/// Panics on empty observations or non-positive inputs.
+pub fn fit_type(obs: &[Observation], sn_type: SnType, z: f64, sigma: f64) -> FitResult {
+    assert!(!obs.is_empty(), "no observations to fit");
+    assert!(z > 0.0 && sigma > 0.0, "invalid z or sigma");
+    let mjd_lo = obs.iter().map(|o| o.mjd).fold(f64::INFINITY, f64::min);
+    let mjd_hi = obs.iter().map(|o| o.mjd).fold(f64::NEG_INFINITY, f64::max);
+
+    let mut best = FitResult {
+        chi2: f64::INFINITY,
+        peak_mjd: mjd_lo,
+        stretch: 1.0,
+        offset: 0.0,
+    };
+    let mut peak = mjd_lo - 40.0;
+    while peak <= mjd_hi + 20.0 {
+        for &stretch in &STRETCH_GRID {
+            let mut sum_r = 0.0;
+            let mut sum_r2 = 0.0;
+            for o in obs {
+                let pred = predicted_mag(sn_type, z, stretch, peak, o.band, o.mjd);
+                let r = o.mag.min(FIT_MAG_LIMIT) - pred;
+                sum_r += r;
+                sum_r2 += r * r;
+            }
+            let n = obs.len() as f64;
+            let offset = sum_r / n;
+            // chi2 with the optimal offset removed.
+            let chi2 = (sum_r2 - n * offset * offset) / (sigma * sigma);
+            if chi2 < best.chi2 {
+                best = FitResult {
+                    chi2,
+                    peak_mjd: peak,
+                    stretch,
+                    offset,
+                };
+            }
+        }
+        peak += 3.0;
+    }
+    best
+}
+
+/// Fits every type and returns results in [`SnType::ALL`] order.
+pub fn fit_all_types(obs: &[Observation], z: f64, sigma: f64) -> [FitResult; 6] {
+    std::array::from_fn(|i| fit_type(obs, SnType::ALL[i], z, sigma))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Noise-free observations generated from a known Ia light curve.
+    fn ia_observations(z: f64, peak: f64) -> Vec<Observation> {
+        let lc = LightCurve::new(SnParams {
+            sn_type: SnType::Ia,
+            redshift: z,
+            stretch: 1.0,
+            color: 0.0,
+            peak_mjd: peak,
+            mag_offset: 0.0,
+        });
+        let mut obs = Vec::new();
+        for (i, band) in Band::ALL.iter().enumerate() {
+            for k in 0..4 {
+                let mjd = peak - 10.0 + (k * 12) as f64 + i as f64;
+                obs.push(Observation {
+                    band: *band,
+                    mjd,
+                    mag: lc.mag(*band, mjd).min(FIT_MAG_LIMIT),
+                });
+            }
+        }
+        obs
+    }
+
+    #[test]
+    fn recovers_its_own_template() {
+        let obs = ia_observations(0.5, 59_030.0);
+        let fit = fit_type(&obs, SnType::Ia, 0.5, 0.1);
+        // chi2 small (grid quantisation of the peak date leaves a little
+        // residual), peak within one grid step, stretch exact.
+        assert!(fit.chi2 < 10.0, "chi2 {}", fit.chi2);
+        // Peak-date quantisation trades off against stretch, so allow one
+        // grid step in each.
+        assert!((fit.peak_mjd - 59_030.0).abs() <= 6.0, "peak {}", fit.peak_mjd);
+        assert!((fit.stretch - 1.0).abs() <= 0.2, "stretch {}", fit.stretch);
+        assert!(fit.offset.abs() < 0.2);
+    }
+
+    #[test]
+    fn wrong_type_fits_worse() {
+        let obs = ia_observations(0.5, 59_030.0);
+        let ia = fit_type(&obs, SnType::Ia, 0.5, 0.1);
+        let iip = fit_type(&obs, SnType::IIP, 0.5, 0.1);
+        assert!(
+            iip.chi2 > ia.chi2 * 3.0 + 5.0,
+            "IIP chi2 {} vs Ia {}",
+            iip.chi2,
+            ia.chi2
+        );
+    }
+
+    #[test]
+    fn grey_offset_is_absorbed() {
+        let mut obs = ia_observations(0.4, 59_020.0);
+        for o in &mut obs {
+            o.mag = (o.mag + 0.7).min(FIT_MAG_LIMIT);
+        }
+        let fit = fit_type(&obs, SnType::Ia, 0.4, 0.1);
+        assert!(fit.chi2 < 20.0, "chi2 {}", fit.chi2);
+        assert!((fit.offset - 0.7).abs() < 0.3, "offset {}", fit.offset);
+    }
+
+    #[test]
+    fn fit_all_types_ordering() {
+        let obs = ia_observations(0.6, 59_025.0);
+        let fits = fit_all_types(&obs, 0.6, 0.1);
+        // Index 0 is Ia, which must be the best fit on Ia data.
+        let best = fits
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.chi2.partial_cmp(&b.1.chi2).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(best, 0);
+    }
+
+    #[test]
+    fn predicted_mag_is_clamped() {
+        // Long before explosion the template is infinitely faint; the fit
+        // sees the clamp instead.
+        let m = predicted_mag(SnType::Ia, 0.5, 1.0, 59_000.0, Band::G, 58_000.0);
+        assert_eq!(m, FIT_MAG_LIMIT);
+    }
+
+    #[test]
+    #[should_panic(expected = "no observations")]
+    fn empty_observations_panic() {
+        fit_type(&[], SnType::Ia, 0.5, 0.1);
+    }
+}

@@ -1,0 +1,159 @@
+//! Figure 12: joint-model training from scratch (dashed in the paper)
+//! vs. fine-tuning from pre-trained parts (solid).
+//!
+//! Paper findings to match in shape: fine-tuning starts at a much better
+//! loss, converges faster, and ends better than training from scratch.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::Serialize;
+
+use snia_bench::{write_json, Table};
+use snia_core::classifier::LightCurveClassifier;
+use snia_core::flux_cnn::{FluxCnn, PoolKind};
+use snia_core::joint::JointModel;
+use snia_core::train::{
+    feature_matrix, flux_pair_refs, train_classifier, train_flux_cnn, train_joint,
+    ClassifierTrainConfig, FluxTrainConfig, JointExample, TrainRecord,
+};
+use snia_core::ExperimentConfig;
+use snia_dataset::{split_indices, Dataset, EPOCHS_PER_BAND};
+
+#[derive(Serialize)]
+struct Fig12Result {
+    fine_tune: Vec<TrainRecord>,
+    from_scratch: Vec<TrainRecord>,
+}
+
+fn one_per_sample(idx: &[usize]) -> Vec<JointExample> {
+    idx.iter()
+        .map(|&si| JointExample {
+            sample: si,
+            // `si / 2`, not `si`: the dataset alternates Ia/non-Ia with
+            // the sample index, so an `si % 4` epoch choice would leak the
+            // label through the epoch's observation dates.
+            epoch: (si / 2) % EPOCHS_PER_BAND,
+        })
+        .collect()
+}
+
+fn main() {
+    let cfg = ExperimentConfig::from_env();
+    println!("# Figure 12 — fine-tuning vs. from scratch (config: {:?})", cfg.dataset);
+    let ds = Dataset::generate(&cfg.dataset);
+    let (tr, va, _) = split_indices(ds.len(), cfg.seed);
+    let crop = 60;
+    let train_ex = one_per_sample(&tr);
+    let val_ex = one_per_sample(&va);
+    let epochs = cfg.scaled(3);
+
+    // --- fine-tuned variant: pre-train both parts first ---
+    println!("\npre-training parts for the fine-tuned variant...");
+    let mut rng = StdRng::seed_from_u64(cfg.seed + 21);
+    let mut cnn = FluxCnn::new(crop, PoolKind::Max, &mut rng);
+    let train_refs = flux_pair_refs(&ds, &tr, 2, cfg.seed + 400);
+    let val_refs = flux_pair_refs(&ds, &va, 2, cfg.seed + 401);
+    train_flux_cnn(
+        &mut cnn,
+        &ds,
+        &train_refs,
+        &val_refs,
+        &FluxTrainConfig {
+            crop,
+            epochs: cfg.scaled(2),
+            batch_size: 16,
+            lr: 1e-3,
+            pairs_per_sample: 2,
+            augment: true,
+            seed: cfg.seed + 5,
+        },
+    );
+    let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
+    let (xv, tv, _) = feature_matrix(&ds, &va, 1);
+    let mut clf = LightCurveClassifier::new(1, 100, &mut rng);
+    train_classifier(
+        &mut clf,
+        (&xt, &tt),
+        (&xv, &tv),
+        &ClassifierTrainConfig {
+            epochs: cfg.scaled(30),
+            batch_size: 64,
+            lr: 3e-3,
+            seed: cfg.seed + 6,
+        },
+    );
+    let mut fine = JointModel::from_pretrained(cnn, clf);
+    println!("fine-tuning...");
+    let fine_hist = train_joint(
+        &mut fine,
+        &ds,
+        &train_ex,
+        &val_ex,
+        &ClassifierTrainConfig {
+            epochs,
+            batch_size: 8,
+            lr: 2e-4,
+            seed: cfg.seed + 7,
+        },
+    );
+
+    // --- from-scratch variant: same joint budget, fresh weights ---
+    println!("training from scratch...");
+    let mut rng2 = StdRng::seed_from_u64(cfg.seed + 22);
+    let mut scratch = JointModel::from_scratch(crop, 100, &mut rng2);
+    let scratch_hist = train_joint(
+        &mut scratch,
+        &ds,
+        &train_ex,
+        &val_ex,
+        &ClassifierTrainConfig {
+            epochs,
+            batch_size: 8,
+            lr: 1e-3, // scratch needs a full-size rate
+            seed: cfg.seed + 8,
+        },
+    );
+
+    let mut table = Table::new(vec![
+        "epoch",
+        "fine-tune train loss",
+        "fine-tune val acc",
+        "scratch train loss",
+        "scratch val acc",
+    ]);
+    for e in 0..epochs {
+        table.row(vec![
+            format!("{e}"),
+            format!("{:.3}", fine_hist[e].train_loss),
+            format!("{:.3}", fine_hist[e].val_acc),
+            format!("{:.3}", scratch_hist[e].train_loss),
+            format!("{:.3}", scratch_hist[e].val_acc),
+        ]);
+    }
+    table.print("Figure 12 — training curves");
+    let ft_first = fine_hist.first().unwrap();
+    let sc_first = scratch_hist.first().unwrap();
+    let ft_last = fine_hist.last().unwrap();
+    let sc_last = scratch_hist.last().unwrap();
+    println!("\nshape checks (paper: fine-tuning better and faster):");
+    println!(
+        "  fine-tune starts better: {} ({:.3} vs {:.3})",
+        if ft_first.train_loss < sc_first.train_loss { "yes" } else { "NO" },
+        ft_first.train_loss,
+        sc_first.train_loss
+    );
+    println!(
+        "  fine-tune ends >= scratch in val acc: {} ({:.3} vs {:.3})",
+        if ft_last.val_acc >= sc_last.val_acc - 0.02 { "yes" } else { "NO" },
+        ft_last.val_acc,
+        sc_last.val_acc
+    );
+
+    write_json(
+        "fig12",
+        &Fig12Result {
+            fine_tune: fine_hist,
+            from_scratch: scratch_hist,
+        },
+    );
+}

@@ -1,0 +1,338 @@
+//! Minimal SVG chart rendering for the experiment figures.
+//!
+//! Hand-rolled rather than a plotting dependency: the figures need only
+//! axes, ticks, polyline series and scatter points. The output is plain
+//! SVG 1.1, viewable in any browser.
+
+use std::fmt::Write as _;
+
+/// One data series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points in data coordinates.
+    pub points: Vec<(f64, f64)>,
+    /// Stroke colour (CSS).
+    pub color: String,
+    /// Draw markers at each point instead of a connected line.
+    pub scatter: bool,
+}
+
+impl Series {
+    /// A connected line series.
+    pub fn line(label: impl Into<String>, points: Vec<(f64, f64)>, color: impl Into<String>) -> Self {
+        Series {
+            label: label.into(),
+            points,
+            color: color.into(),
+            scatter: false,
+        }
+    }
+
+    /// A scatter series.
+    pub fn scatter(
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+        color: impl Into<String>,
+    ) -> Self {
+        Series {
+            label: label.into(),
+            points,
+            color: color.into(),
+            scatter: true,
+        }
+    }
+}
+
+/// A 2-D chart with linear axes.
+#[derive(Debug, Clone)]
+pub struct Chart {
+    title: String,
+    x_label: String,
+    y_label: String,
+    series: Vec<Series>,
+    /// Optional fixed axis ranges `(lo, hi)`.
+    x_range: Option<(f64, f64)>,
+    y_range: Option<(f64, f64)>,
+}
+
+const W: f64 = 640.0;
+const H: f64 = 440.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_R: f64 = 20.0;
+const MARGIN_T: f64 = 45.0;
+const MARGIN_B: f64 = 55.0;
+
+impl Chart {
+    /// Creates an empty chart.
+    pub fn new(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
+        Chart {
+            title: title.into(),
+            x_label: x_label.into(),
+            y_label: y_label.into(),
+            series: Vec::new(),
+            x_range: None,
+            y_range: None,
+        }
+    }
+
+    /// Adds a series.
+    pub fn push(&mut self, series: Series) -> &mut Self {
+        self.series.push(series);
+        self
+    }
+
+    /// Fixes the x-axis range.
+    pub fn x_range(&mut self, lo: f64, hi: f64) -> &mut Self {
+        assert!(lo < hi, "invalid x range");
+        self.x_range = Some((lo, hi));
+        self
+    }
+
+    /// Fixes the y-axis range.
+    pub fn y_range(&mut self, lo: f64, hi: f64) -> &mut Self {
+        assert!(lo < hi, "invalid y range");
+        self.y_range = Some((lo, hi));
+        self
+    }
+
+    fn data_range(&self, axis: usize) -> (f64, f64) {
+        let fixed = if axis == 0 { self.x_range } else { self.y_range };
+        if let Some(r) = fixed {
+            return r;
+        }
+        let vals: Vec<f64> = self
+            .series
+            .iter()
+            .flat_map(|s| s.points.iter().map(move |p| if axis == 0 { p.0 } else { p.1 }))
+            .filter(|v| v.is_finite())
+            .collect();
+        if vals.is_empty() {
+            return (0.0, 1.0);
+        }
+        let lo = vals.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = vals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if lo == hi {
+            (lo - 0.5, hi + 0.5)
+        } else {
+            let pad = (hi - lo) * 0.05;
+            (lo - pad, hi + pad)
+        }
+    }
+
+    /// Renders the chart to an SVG string.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the chart has no series.
+    pub fn to_svg(&self) -> String {
+        assert!(!self.series.is_empty(), "chart has no series");
+        let (x_lo, x_hi) = self.data_range(0);
+        let (y_lo, y_hi) = self.data_range(1);
+        let plot_w = W - MARGIN_L - MARGIN_R;
+        let plot_h = H - MARGIN_T - MARGIN_B;
+        let sx = |x: f64| MARGIN_L + (x - x_lo) / (x_hi - x_lo) * plot_w;
+        let sy = |y: f64| H - MARGIN_B - (y - y_lo) / (y_hi - y_lo) * plot_h;
+
+        let mut s = String::new();
+        let _ = writeln!(
+            s,
+            r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+        );
+        let _ = writeln!(s, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+        // Title + axis labels.
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="24" font-size="16" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+            W / 2.0,
+            xml_escape(&self.title)
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="{}" y="{}" font-size="13" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+            MARGIN_L + plot_w / 2.0,
+            H - 12.0,
+            xml_escape(&self.x_label)
+        );
+        let _ = writeln!(
+            s,
+            r#"<text x="16" y="{}" font-size="13" text-anchor="middle" font-family="sans-serif" transform="rotate(-90 16 {})">{}</text>"#,
+            MARGIN_T + plot_h / 2.0,
+            MARGIN_T + plot_h / 2.0,
+            xml_escape(&self.y_label)
+        );
+        // Frame.
+        let _ = writeln!(
+            s,
+            r#"<rect x="{MARGIN_L}" y="{MARGIN_T}" width="{plot_w}" height="{plot_h}" fill="none" stroke="black"/>"#
+        );
+        // Ticks (5 per axis) + grid.
+        for i in 0..=4 {
+            let fx = x_lo + (x_hi - x_lo) * i as f64 / 4.0;
+            let px = sx(fx);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{px}" y1="{MARGIN_T}" x2="{px}" y2="{}" stroke="#ddd"/>"##,
+                H - MARGIN_B
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{px}" y="{}" font-size="11" text-anchor="middle" font-family="sans-serif">{}</text>"#,
+                H - MARGIN_B + 16.0,
+                fmt_tick(fx)
+            );
+            let fy = y_lo + (y_hi - y_lo) * i as f64 / 4.0;
+            let py = sy(fy);
+            let _ = writeln!(
+                s,
+                r##"<line x1="{MARGIN_L}" y1="{py}" x2="{}" y2="{py}" stroke="#ddd"/>"##,
+                W - MARGIN_R
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{}" y="{}" font-size="11" text-anchor="end" font-family="sans-serif">{}</text>"#,
+                MARGIN_L - 6.0,
+                py + 4.0,
+                fmt_tick(fy)
+            );
+        }
+        // Series.
+        for series in &self.series {
+            if series.scatter {
+                for &(x, y) in &series.points {
+                    if x.is_finite() && y.is_finite() {
+                        let _ = writeln!(
+                            s,
+                            r#"<circle cx="{:.1}" cy="{:.1}" r="2.4" fill="{}" fill-opacity="0.6"/>"#,
+                            sx(x),
+                            sy(y),
+                            series.color
+                        );
+                    }
+                }
+            } else {
+                let pts: Vec<String> = series
+                    .points
+                    .iter()
+                    .filter(|(x, y)| x.is_finite() && y.is_finite())
+                    .map(|&(x, y)| format!("{:.1},{:.1}", sx(x), sy(y)))
+                    .collect();
+                let _ = writeln!(
+                    s,
+                    r#"<polyline points="{}" fill="none" stroke="{}" stroke-width="2"/>"#,
+                    pts.join(" "),
+                    series.color
+                );
+            }
+        }
+        // Legend.
+        for (i, series) in self.series.iter().enumerate() {
+            let ly = MARGIN_T + 16.0 + 18.0 * i as f64;
+            let _ = writeln!(
+                s,
+                r#"<rect x="{}" y="{}" width="12" height="12" fill="{}"/>"#,
+                MARGIN_L + 10.0,
+                ly - 10.0,
+                series.color
+            );
+            let _ = writeln!(
+                s,
+                r#"<text x="{}" y="{}" font-size="12" font-family="sans-serif">{}</text>"#,
+                MARGIN_L + 27.0,
+                ly,
+                xml_escape(&series.label)
+            );
+        }
+        s.push_str("</svg>\n");
+        s
+    }
+}
+
+fn fmt_tick(v: f64) -> String {
+    if v == 0.0 {
+        "0".to_string()
+    } else if v.abs() >= 100.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 1.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chart() -> Chart {
+        let mut c = Chart::new("ROC", "FPR", "TPR");
+        c.push(Series::line("model", vec![(0.0, 0.0), (0.2, 0.8), (1.0, 1.0)], "#1f77b4"));
+        c.push(Series::scatter("points", vec![(0.5, 0.5)], "#d62728"));
+        c
+    }
+
+    #[test]
+    fn svg_is_well_formed_enough() {
+        let svg = chart().to_svg();
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert!(svg.contains("polyline"));
+        assert!(svg.contains("circle"));
+        assert_eq!(svg.matches("<svg").count(), 1);
+    }
+
+    #[test]
+    fn titles_and_labels_appear() {
+        let svg = chart().to_svg();
+        assert!(svg.contains(">ROC<"));
+        assert!(svg.contains(">FPR<"));
+        assert!(svg.contains(">TPR<"));
+        assert!(svg.contains(">model<"));
+    }
+
+    #[test]
+    fn xml_special_chars_escaped() {
+        let mut c = Chart::new("a < b & c", "x", "y");
+        c.push(Series::line("s", vec![(0.0, 0.0), (1.0, 1.0)], "red"));
+        let svg = c.to_svg();
+        assert!(svg.contains("a &lt; b &amp; c"));
+    }
+
+    #[test]
+    fn fixed_ranges_are_respected() {
+        let mut c = Chart::new("t", "x", "y");
+        c.push(Series::line("s", vec![(0.3, 0.4)], "blue"));
+        c.x_range(0.0, 1.0).y_range(0.0, 1.0);
+        let svg = c.to_svg();
+        // tick labels 0 and 1.0 should be present
+        assert!(svg.contains(">0<"));
+        assert!(svg.contains(">1.0<"));
+    }
+
+    #[test]
+    fn nonfinite_points_are_dropped() {
+        let mut c = Chart::new("t", "x", "y");
+        c.push(Series::line(
+            "s",
+            vec![(0.0, 0.0), (f64::NAN, 1.0), (1.0, 1.0)],
+            "blue",
+        ));
+        let svg = c.to_svg();
+        assert!(!svg.contains("NaN"));
+    }
+
+    #[test]
+    #[should_panic(expected = "no series")]
+    fn empty_chart_panics() {
+        Chart::new("t", "x", "y").to_svg();
+    }
+}

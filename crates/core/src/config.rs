@@ -1,0 +1,103 @@
+//! Experiment configuration with environment overrides.
+//!
+//! Every experiment binary in `snia-bench` builds its workload from an
+//! [`ExperimentConfig`]:
+//!
+//! * `SNIA_FULL=1` — paper scale (12,000 samples, full training budgets);
+//! * `SNIA_SCALE=<f64>` — multiplies dataset size and training epochs
+//!   (default 1.0 ≙ the laptop-quick configuration);
+//! * `SNIA_SEED=<u64>` — master seed (default 20170101).
+
+use snia_dataset::DatasetConfig;
+
+/// Scaled experiment knobs derived from the environment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExperimentConfig {
+    /// Dataset generation parameters.
+    pub dataset: DatasetConfig,
+    /// Multiplier applied to training budgets (epochs / step counts).
+    pub train_scale: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl ExperimentConfig {
+    /// Reads the configuration from the environment (see module docs).
+    pub fn from_env() -> Self {
+        let seed = std::env::var("SNIA_SEED")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(20170101u64);
+        let full = std::env::var("SNIA_FULL").map(|v| v == "1").unwrap_or(false);
+        let scale: f64 = std::env::var("SNIA_SCALE")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(1.0);
+        Self::build(full, scale, seed)
+    }
+
+    /// Builds a configuration explicitly (used by tests; `from_env` is the
+    /// production path).
+    pub fn build(full: bool, scale: f64, seed: u64) -> Self {
+        assert!(scale > 0.0 && scale.is_finite(), "invalid scale {scale}");
+        let mut dataset = if full {
+            DatasetConfig::paper_scale()
+        } else {
+            DatasetConfig::default()
+        };
+        dataset.seed = seed;
+        if !full {
+            dataset.n_samples = ((dataset.n_samples as f64 * scale) as usize).max(40);
+            dataset.catalog_size = ((dataset.catalog_size as f64 * scale) as usize).max(100);
+        }
+        ExperimentConfig {
+            dataset,
+            train_scale: if full { 4.0 } else { scale },
+            seed,
+        }
+    }
+
+    /// Scales an epoch/step budget, with a floor of 1.
+    pub fn scaled(&self, base: usize) -> usize {
+        ((base as f64 * self.train_scale).round() as usize).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_laptop_scale() {
+        let c = ExperimentConfig::build(false, 1.0, 1);
+        assert_eq!(c.dataset.n_samples, 1200);
+        assert_eq!(c.scaled(3), 3);
+    }
+
+    #[test]
+    fn full_is_paper_scale() {
+        let c = ExperimentConfig::build(true, 1.0, 1);
+        assert_eq!(c.dataset.n_samples, 12_000);
+        assert!(c.train_scale > 1.0);
+    }
+
+    #[test]
+    fn scale_shrinks_dataset_with_floor() {
+        let c = ExperimentConfig::build(false, 0.01, 1);
+        assert_eq!(c.dataset.n_samples, 40);
+        assert_eq!(c.scaled(10), 1);
+    }
+
+    #[test]
+    fn seed_propagates() {
+        let c = ExperimentConfig::build(false, 1.0, 99);
+        assert_eq!(c.dataset.seed, 99);
+        assert_eq!(c.seed, 99);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid scale")]
+    fn bad_scale_panics() {
+        ExperimentConfig::build(false, 0.0, 1);
+    }
+}

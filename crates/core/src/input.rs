@@ -1,0 +1,238 @@
+//! Input preprocessing: image pairs → CNN tensors, magnitudes → targets.
+
+use snia_dataset::FluxPair;
+use snia_nn::Tensor;
+use snia_skysim::Image;
+
+/// Magnitude clamp range (matches the feature normalisation in
+/// `snia_dataset::features`).
+pub const MAG_RANGE: (f64, f64) = (18.0, 30.0);
+
+/// Maps a magnitude to the CNN regression target `(clamp(m) − 24) / 4`.
+///
+/// The same normalisation as the classifier's magnitude features, so the
+/// CNN output can be fed to the classifier unchanged in the joint model.
+pub fn mag_to_target(mag: f64) -> f32 {
+    ((mag.clamp(MAG_RANGE.0, MAG_RANGE.1) - 24.0) / 4.0) as f32
+}
+
+/// Inverse of [`mag_to_target`].
+pub fn target_to_mag(target: f32) -> f64 {
+    f64::from(target) * 4.0 + 24.0
+}
+
+/// The paper's image preprocessing: difference image, signed log stretch,
+/// centred crop to `crop × crop` pixels.
+///
+/// # Panics
+///
+/// Panics if `crop` exceeds the stamp size or is zero.
+pub fn preprocess(reference: &Image, observation: &Image, crop: usize) -> Image {
+    preprocess_with(reference, observation, crop, true)
+}
+
+/// Like [`preprocess`], with the signed log stretch optional — the
+/// ablation bench compares the paper's transform against raw difference
+/// pixels.
+///
+/// # Panics
+///
+/// Panics if `crop` exceeds the stamp size or is zero.
+pub fn preprocess_with(
+    reference: &Image,
+    observation: &Image,
+    crop: usize,
+    log_stretch: bool,
+) -> Image {
+    let diff = observation.subtract(reference);
+    let diff = if log_stretch { diff.log_stretch() } else { diff };
+    diff.crop_center(crop)
+}
+
+/// Converts one flux pair into a `(1, crop, crop)`-shaped flat vector.
+fn pair_pixels(pair: &FluxPair, crop: usize) -> Vec<f32> {
+    preprocess(&pair.reference, &pair.observation, crop)
+        .data()
+        .to_vec()
+}
+
+/// Converts a flux pair into a single-sample CNN input tensor
+/// `(1, 1, crop, crop)`.
+pub fn pair_to_input(pair: &FluxPair, crop: usize) -> Tensor {
+    Tensor::from_vec(vec![1, 1, crop, crop], pair_pixels(pair, crop))
+}
+
+/// Applies one of the eight dihedral (D4) symmetries to a square image
+/// stored as a flat row-major slice, in place.
+///
+/// `code & 1` → horizontal flip, `code & 2` → vertical flip,
+/// `code & 4` → transpose. The supernova-magnitude target is invariant
+/// under all eight, which makes D4 the natural training augmentation.
+///
+/// # Panics
+///
+/// Panics if `pixels.len() != size * size`.
+pub fn d4_transform(pixels: &mut [f32], size: usize, code: u8) {
+    assert_eq!(pixels.len(), size * size, "not a square image");
+    if code & 1 != 0 {
+        for row in pixels.chunks_mut(size) {
+            row.reverse();
+        }
+    }
+    if code & 2 != 0 {
+        for y in 0..size / 2 {
+            for x in 0..size {
+                pixels.swap(y * size + x, (size - 1 - y) * size + x);
+            }
+        }
+    }
+    if code & 4 != 0 {
+        for y in 0..size {
+            for x in 0..y {
+                pixels.swap(y * size + x, x * size + y);
+            }
+        }
+    }
+}
+
+/// Batches many flux pairs into an `(N, 1, crop, crop)` input tensor and an
+/// `(N, 1)` target tensor.
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty.
+pub fn batch_pairs(pairs: &[&FluxPair], crop: usize) -> (Tensor, Tensor) {
+    batch_pairs_with(pairs, crop, true)
+}
+
+/// Like [`batch_pairs`], with the log stretch optional (ablation).
+///
+/// # Panics
+///
+/// Panics if `pairs` is empty.
+pub fn batch_pairs_with(pairs: &[&FluxPair], crop: usize, log_stretch: bool) -> (Tensor, Tensor) {
+    assert!(!pairs.is_empty(), "empty batch");
+    let n = pairs.len();
+    let mut x = Vec::with_capacity(n * crop * crop);
+    let mut t = Vec::with_capacity(n);
+    for p in pairs {
+        x.extend(
+            preprocess_with(&p.reference, &p.observation, crop, log_stretch)
+                .data()
+                .iter()
+                .copied(),
+        );
+        t.push(mag_to_target(p.true_mag));
+    }
+    (
+        Tensor::from_vec(vec![n, 1, crop, crop], x),
+        Tensor::from_vec(vec![n, 1], t),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use snia_dataset::{Dataset, DatasetConfig};
+
+    #[test]
+    fn mag_target_round_trip() {
+        for m in [19.0, 22.0, 24.0, 27.5] {
+            let t = mag_to_target(m);
+            assert!((target_to_mag(t) - m).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn mag_target_clamps_faint() {
+        assert_eq!(mag_to_target(50.0), mag_to_target(30.0));
+        assert_eq!(mag_to_target(f64::INFINITY), mag_to_target(30.0));
+    }
+
+    #[test]
+    fn target_is_order_unity() {
+        assert!(mag_to_target(18.0).abs() <= 1.6);
+        assert!(mag_to_target(30.0).abs() <= 1.6);
+    }
+
+    #[test]
+    fn preprocess_shapes_and_batches() {
+        let ds = Dataset::generate(&DatasetConfig {
+            n_samples: 2,
+            catalog_size: 30,
+            seed: 31,
+        });
+        let p0 = ds.samples[0].flux_pair(0);
+        let p1 = ds.samples[1].flux_pair(3);
+        let x = pair_to_input(&p0, 60);
+        assert_eq!(x.shape(), &[1, 1, 60, 60]);
+        let (xb, tb) = batch_pairs(&[&p0, &p1], 44);
+        assert_eq!(xb.shape(), &[2, 1, 44, 44]);
+        assert_eq!(tb.shape(), &[2, 1]);
+        assert!(xb.all_finite() && tb.all_finite());
+    }
+
+    #[test]
+    fn preprocess_output_is_log_compressed() {
+        let ds = Dataset::generate(&DatasetConfig {
+            n_samples: 1,
+            catalog_size: 30,
+            seed: 32,
+        });
+        let p = ds.samples[0].flux_pair(0);
+        let img = preprocess(&p.reference, &p.observation, 60);
+        // Raw difference pixels can reach hundreds of counts; after the log
+        // stretch everything is within a few decades.
+        assert!(img.max() < 4.0 && img.min() > -4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty batch")]
+    fn empty_batch_panics() {
+        batch_pairs(&[], 60);
+    }
+
+    #[test]
+    fn d4_identity_is_noop() {
+        let mut px = vec![1.0, 2.0, 3.0, 4.0];
+        d4_transform(&mut px, 2, 0);
+        assert_eq!(px, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn d4_horizontal_flip() {
+        let mut px = vec![1.0, 2.0, 3.0, 4.0];
+        d4_transform(&mut px, 2, 1);
+        assert_eq!(px, vec![2.0, 1.0, 4.0, 3.0]);
+    }
+
+    #[test]
+    fn d4_transforms_are_bijections() {
+        // Every code permutes the pixels (multiset preserved), and applying
+        // a flip twice restores the original.
+        let base: Vec<f32> = (0..25).map(|i| i as f32).collect();
+        for code in 0..8u8 {
+            let mut px = base.clone();
+            d4_transform(&mut px, 5, code);
+            let mut sorted = px.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            assert_eq!(sorted, base, "code {code} lost pixels");
+        }
+        for code in [1u8, 2, 4] {
+            let mut px = base.clone();
+            d4_transform(&mut px, 5, code);
+            d4_transform(&mut px, 5, code);
+            assert_eq!(px, base, "code {code} is not an involution");
+        }
+    }
+
+    #[test]
+    fn d4_total_flux_is_invariant() {
+        let mut px: Vec<f32> = (0..36).map(|i| (i as f32).sin()).collect();
+        let total: f32 = px.iter().sum();
+        for code in 0..8u8 {
+            d4_transform(&mut px, 6, code);
+            assert!((px.iter().sum::<f32>() - total).abs() < 1e-4);
+        }
+    }
+}

@@ -1,0 +1,672 @@
+//! Training loops for the three models.
+//!
+//! All loops are deterministic given their seed, stream-render their
+//! batches from [`SampleSpec`]s (images are never cached across epochs, so
+//! memory stays flat even at paper scale) and record per-epoch train/val
+//! curves for the Figure 12 experiment.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use snia_dataset::{epoch_features, Dataset, SampleSpec, EPOCHS_PER_BAND};
+use snia_nn::loss::{bce_with_logits, mse_loss, sigmoid_probs};
+use snia_nn::optim::{Adam, Optimizer};
+use snia_nn::{Mode, Tensor};
+
+use crate::classifier::LightCurveClassifier;
+use crate::flux_cnn::FluxCnn;
+use crate::input::{batch_pairs, mag_to_target, target_to_mag};
+use crate::joint::JointModel;
+
+/// One epoch of a training history.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainRecord {
+    /// 0-based epoch index.
+    pub epoch: usize,
+    /// Mean training loss over the epoch.
+    pub train_loss: f64,
+    /// Validation loss after the epoch.
+    pub val_loss: f64,
+    /// Training accuracy (classification runs; `NaN` for regression).
+    pub train_acc: f64,
+    /// Validation accuracy (classification runs; `NaN` for regression).
+    pub val_acc: f64,
+}
+
+// ---------------------------------------------------------------------------
+// Flux CNN
+// ---------------------------------------------------------------------------
+
+/// Hyper-parameters for flux-CNN training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FluxTrainConfig {
+    /// Input crop size.
+    pub crop: usize,
+    /// Number of passes over the training pairs.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Observation pairs used per sample (≤ 20); lower values shrink the
+    /// epoch for quick runs.
+    pub pairs_per_sample: usize,
+    /// Random D4 (flip/rotate) augmentation of the training images. The
+    /// magnitude target is invariant under these symmetries, so this
+    /// multiplies the effective training set by up to 8 at no rendering
+    /// cost.
+    pub augment: bool,
+    /// Shuffling/ordering seed.
+    pub seed: u64,
+}
+
+impl Default for FluxTrainConfig {
+    fn default() -> Self {
+        FluxTrainConfig {
+            crop: 60,
+            epochs: 2,
+            batch_size: 16,
+            lr: 1e-3,
+            pairs_per_sample: 4,
+            augment: true,
+            seed: 7,
+        }
+    }
+}
+
+/// `(sample index, observation index)` references into a dataset — the
+/// unit of the flux-regression task.
+///
+/// Prefers *detectable* observations (true magnitude < 28): pairs where
+/// the supernova is below the noise carry no gradient signal for the
+/// regressor beyond "predict the faint clamp", and at laptop-scale
+/// training budgets they crowd out the informative pairs. If a sample has
+/// fewer detectable observations than requested, its brightest
+/// undetectable ones fill the remainder.
+pub fn flux_pair_refs(
+    ds: &Dataset,
+    sample_indices: &[usize],
+    pairs_per_sample: usize,
+    seed: u64,
+) -> Vec<(usize, usize)> {
+    const DETECTABLE_MAG: f64 = 28.0;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut refs = Vec::with_capacity(sample_indices.len() * pairs_per_sample);
+    for &si in sample_indices {
+        let s = &ds.samples[si];
+        let lc = s.light_curve();
+        let mut obs: Vec<(usize, f64)> = s
+            .schedule
+            .observations
+            .iter()
+            .enumerate()
+            .map(|(oi, &(band, mjd))| (oi, lc.mag(band, mjd)))
+            .collect();
+        obs.shuffle(&mut rng);
+        // Detectable first (shuffled within each group), then by brightness.
+        obs.sort_by(|a, b| {
+            let da = a.1 < DETECTABLE_MAG;
+            let db = b.1 < DETECTABLE_MAG;
+            db.cmp(&da)
+        });
+        for &(oi, _) in obs.iter().take(pairs_per_sample.min(obs.len())) {
+            refs.push((si, oi));
+        }
+    }
+    refs
+}
+
+fn render_flux_batch(ds: &Dataset, refs: &[(usize, usize)], crop: usize) -> (Tensor, Tensor) {
+    let pairs: Vec<_> = refs
+        .iter()
+        .map(|&(si, oi)| ds.samples[si].flux_pair(oi))
+        .collect();
+    let pair_refs: Vec<&_> = pairs.iter().collect();
+    batch_pairs(&pair_refs, crop)
+}
+
+/// Trains the flux CNN with Adam + MSE on normalised magnitudes, returning
+/// the per-epoch history (losses in normalised-target units).
+///
+/// # Panics
+///
+/// Panics if either reference list is empty.
+pub fn train_flux_cnn(
+    cnn: &mut FluxCnn,
+    ds: &Dataset,
+    train_refs: &[(usize, usize)],
+    val_refs: &[(usize, usize)],
+    cfg: &FluxTrainConfig,
+) -> Vec<TrainRecord> {
+    assert!(!train_refs.is_empty() && !val_refs.is_empty(), "empty split");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let mut order: Vec<usize> = (0..train_refs.len()).collect();
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0f64;
+        let mut batches = 0usize;
+        for chunk in order.chunks(cfg.batch_size) {
+            let refs: Vec<(usize, usize)> = chunk.iter().map(|&i| train_refs[i]).collect();
+            let (mut x, t) = render_flux_batch(ds, &refs, cfg.crop);
+            if cfg.augment {
+                let px = cfg.crop * cfg.crop;
+                for i in 0..refs.len() {
+                    let code: u8 = rng.gen_range(0..8);
+                    crate::input::d4_transform(
+                        &mut x.data_mut()[i * px..(i + 1) * px],
+                        cfg.crop,
+                        code,
+                    );
+                }
+            }
+            let y = cnn.forward(&x, Mode::Train);
+            let (loss, grad) = mse_loss(&y, &t);
+            cnn.zero_grad();
+            cnn.backward(&grad);
+            opt.step(&mut cnn.params_mut());
+            loss_sum += f64::from(loss);
+            batches += 1;
+        }
+        let val_loss = flux_loss(cnn, ds, val_refs, cfg.crop, cfg.batch_size);
+        history.push(TrainRecord {
+            epoch,
+            train_loss: loss_sum / batches as f64,
+            val_loss,
+            train_acc: f64::NAN,
+            val_acc: f64::NAN,
+        });
+    }
+    history
+}
+
+/// Mean MSE loss (normalised-target units) of the CNN on a reference list.
+pub fn flux_loss(
+    cnn: &mut FluxCnn,
+    ds: &Dataset,
+    refs: &[(usize, usize)],
+    crop: usize,
+    batch_size: usize,
+) -> f64 {
+    let mut loss_sum = 0.0f64;
+    let mut n = 0usize;
+    for chunk in refs.chunks(batch_size) {
+        let (x, t) = render_flux_batch(ds, chunk, crop);
+        let y = cnn.forward(&x, Mode::Eval);
+        let (loss, _) = mse_loss(&y, &t);
+        loss_sum += f64::from(loss) * chunk.len() as f64;
+        n += chunk.len();
+    }
+    loss_sum / n as f64
+}
+
+/// `(true magnitude, estimated magnitude)` on every reference — the
+/// Figure 8 scatter.
+pub fn flux_predictions(
+    cnn: &mut FluxCnn,
+    ds: &Dataset,
+    refs: &[(usize, usize)],
+    crop: usize,
+    batch_size: usize,
+) -> Vec<(f64, f64)> {
+    let mut out = Vec::with_capacity(refs.len());
+    for chunk in refs.chunks(batch_size) {
+        let (x, t) = render_flux_batch(ds, chunk, crop);
+        let y = cnn.forward(&x, Mode::Eval);
+        for i in 0..chunk.len() {
+            out.push((
+                target_to_mag(t.data()[i]),
+                target_to_mag(y.data()[i]),
+            ));
+        }
+    }
+    out
+}
+
+// ---------------------------------------------------------------------------
+// Classifier on light-curve features
+// ---------------------------------------------------------------------------
+
+/// Builds the feature matrix for a classifier over `k` epochs.
+///
+/// For `k == 1` every sample contributes [`EPOCHS_PER_BAND`] single-epoch
+/// examples (the paper "split each sample into 4 subsets"); for `k > 1`
+/// each sample contributes one example of epochs `0..k` concatenated.
+///
+/// Returns `(inputs, targets, labels)` with inputs `(N, 10·k)`.
+pub fn feature_matrix(ds: &Dataset, sample_indices: &[usize], k: usize) -> (Tensor, Tensor, Vec<bool>) {
+    assert!(k >= 1 && k <= EPOCHS_PER_BAND, "invalid epoch count {k}");
+    let mut rows: Vec<f32> = Vec::new();
+    let mut targets: Vec<f32> = Vec::new();
+    let mut labels = Vec::new();
+    for &si in sample_indices {
+        let s = &ds.samples[si];
+        if k == 1 {
+            for e in 0..EPOCHS_PER_BAND {
+                rows.extend_from_slice(&epoch_features(s, e).to_input());
+                targets.push(if s.is_ia() { 1.0 } else { 0.0 });
+                labels.push(s.is_ia());
+            }
+        } else {
+            rows.extend(snia_dataset::features::multi_epoch_input(s, k));
+            targets.push(if s.is_ia() { 1.0 } else { 0.0 });
+            labels.push(s.is_ia());
+        }
+    }
+    let n = labels.len();
+    (
+        Tensor::from_vec(vec![n, 10 * k], rows),
+        Tensor::from_vec(vec![n, 1], targets),
+        labels,
+    )
+}
+
+/// Hyper-parameters for classifier / joint-model training.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ClassifierTrainConfig {
+    /// Passes over the training set.
+    pub epochs: usize,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Adam learning rate.
+    pub lr: f32,
+    /// Shuffling seed.
+    pub seed: u64,
+}
+
+impl Default for ClassifierTrainConfig {
+    fn default() -> Self {
+        ClassifierTrainConfig {
+            epochs: 30,
+            batch_size: 64,
+            lr: 3e-3,
+            seed: 13,
+        }
+    }
+}
+
+fn rows_of(x: &Tensor, idx: &[usize]) -> Tensor {
+    let d = x.shape()[1];
+    let mut data = Vec::with_capacity(idx.len() * d);
+    for &i in idx {
+        data.extend_from_slice(&x.data()[i * d..(i + 1) * d]);
+    }
+    Tensor::from_vec(vec![idx.len(), d], data)
+}
+
+/// Trains the feature classifier with Adam + BCE, recording loss and
+/// accuracy curves.
+///
+/// # Panics
+///
+/// Panics if the splits are empty.
+pub fn train_classifier(
+    clf: &mut LightCurveClassifier,
+    train: (&Tensor, &Tensor),
+    val: (&Tensor, &Tensor),
+    cfg: &ClassifierTrainConfig,
+) -> Vec<TrainRecord> {
+    let (x_train, t_train) = train;
+    let (x_val, t_val) = val;
+    assert!(x_train.shape()[0] > 0 && x_val.shape()[0] > 0, "empty split");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let n = x_train.shape()[0];
+    let mut order: Vec<usize> = (0..n).collect();
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(cfg.batch_size) {
+            let xb = rows_of(x_train, chunk);
+            let tb = rows_of(t_train, chunk);
+            let y = clf.forward(&xb, Mode::Train);
+            let (loss, grad) = bce_with_logits(&y, &tb);
+            clf.zero_grad();
+            clf.backward(&grad);
+            opt.step(&mut clf.params_mut());
+            loss_sum += f64::from(loss);
+            batches += 1;
+        }
+        let (val_loss, val_acc) = classifier_loss_acc(clf, x_val, t_val);
+        let (_, train_acc) = classifier_loss_acc(clf, x_train, t_train);
+        history.push(TrainRecord {
+            epoch,
+            train_loss: loss_sum / batches as f64,
+            val_loss,
+            train_acc,
+            val_acc,
+        });
+    }
+    history
+}
+
+/// BCE loss and 0.5-threshold accuracy of the classifier on a feature set.
+pub fn classifier_loss_acc(
+    clf: &mut LightCurveClassifier,
+    x: &Tensor,
+    t: &Tensor,
+) -> (f64, f64) {
+    let y = clf.forward(x, Mode::Eval);
+    let (loss, _) = bce_with_logits(&y, t);
+    let probs = sigmoid_probs(&y);
+    let correct = probs
+        .data()
+        .iter()
+        .zip(t.data())
+        .filter(|(&p, &tv)| (p >= 0.5) == (tv >= 0.5))
+        .count();
+    (f64::from(loss), correct as f64 / t.len() as f64)
+}
+
+/// Classifier probabilities on a feature matrix.
+pub fn classifier_scores(clf: &mut LightCurveClassifier, x: &Tensor) -> Vec<f64> {
+    let y = clf.forward(x, Mode::Eval);
+    sigmoid_probs(&y).data().iter().map(|&p| f64::from(p)).collect()
+}
+
+// ---------------------------------------------------------------------------
+// Joint model
+// ---------------------------------------------------------------------------
+
+/// One joint-model example: a sample observed at a given single-epoch set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JointExample {
+    /// Index into `dataset.samples`.
+    pub sample: usize,
+    /// Single-epoch set index (`0..EPOCHS_PER_BAND`).
+    pub epoch: usize,
+}
+
+/// Expands samples into one example per single-epoch set.
+pub fn joint_examples(sample_indices: &[usize]) -> Vec<JointExample> {
+    sample_indices
+        .iter()
+        .flat_map(|&si| (0..EPOCHS_PER_BAND).map(move |e| JointExample { sample: si, epoch: e }))
+        .collect()
+}
+
+/// Renders a joint-model batch: `(images (5N,1,S,S), dates (N,5), targets
+/// (N,1), labels)`.
+pub fn joint_batch(
+    ds: &Dataset,
+    examples: &[JointExample],
+    crop: usize,
+) -> (Tensor, Tensor, Tensor, Vec<bool>) {
+    let n = examples.len();
+    let mut images = Vec::with_capacity(n * 5 * crop * crop);
+    let mut dates = Vec::with_capacity(n * 5);
+    let mut targets = Vec::with_capacity(n);
+    let mut labels = Vec::with_capacity(n);
+    for ex in examples {
+        let s: &SampleSpec = &ds.samples[ex.sample];
+        let pairs = s.epoch_pairs(ex.epoch);
+        for p in &pairs {
+            images.extend(
+                crate::input::preprocess(&p.reference, &p.observation, crop)
+                    .data()
+                    .iter()
+                    .copied(),
+            );
+        }
+        let fv = epoch_features(s, ex.epoch);
+        let input = fv.to_input();
+        dates.extend_from_slice(&input[5..]);
+        targets.push(if s.is_ia() { 1.0 } else { 0.0 });
+        labels.push(s.is_ia());
+    }
+    (
+        Tensor::from_vec(vec![n * 5, 1, crop, crop], images),
+        Tensor::from_vec(vec![n, 5], dates),
+        Tensor::from_vec(vec![n, 1], targets),
+        labels,
+    )
+}
+
+/// Trains the joint model end-to-end, recording loss/accuracy curves
+/// (Figure 12). Validation metrics are computed on (a subsample of) the
+/// validation examples each epoch.
+///
+/// # Panics
+///
+/// Panics if the splits are empty.
+pub fn train_joint(
+    jm: &mut JointModel,
+    ds: &Dataset,
+    train_ex: &[JointExample],
+    val_ex: &[JointExample],
+    cfg: &ClassifierTrainConfig,
+) -> Vec<TrainRecord> {
+    assert!(!train_ex.is_empty() && !val_ex.is_empty(), "empty split");
+    let crop = jm.crop();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut opt = Adam::new(cfg.lr);
+    let mut order: Vec<usize> = (0..train_ex.len()).collect();
+    let mut history = Vec::with_capacity(cfg.epochs);
+    for epoch in 0..cfg.epochs {
+        order.shuffle(&mut rng);
+        let mut loss_sum = 0.0;
+        let mut acc_sum = 0.0;
+        let mut batches = 0;
+        for chunk in order.chunks(cfg.batch_size) {
+            let exs: Vec<JointExample> = chunk.iter().map(|&i| train_ex[i]).collect();
+            let (images, dates, targets, _) = joint_batch(ds, &exs, crop);
+            let y = jm.forward(&images, &dates, Mode::Train);
+            let (loss, grad) = bce_with_logits(&y, &targets);
+            jm.zero_grad();
+            jm.backward(&grad);
+            opt.step(&mut jm.params_mut());
+            loss_sum += f64::from(loss);
+            let probs = sigmoid_probs(&y);
+            let correct = probs
+                .data()
+                .iter()
+                .zip(targets.data())
+                .filter(|(&p, &t)| (p >= 0.5) == (t >= 0.5))
+                .count();
+            acc_sum += correct as f64 / targets.len() as f64;
+            batches += 1;
+        }
+        let (val_loss, val_acc) = joint_loss_acc(jm, ds, val_ex, cfg.batch_size);
+        history.push(TrainRecord {
+            epoch,
+            train_loss: loss_sum / batches as f64,
+            val_loss,
+            train_acc: acc_sum / batches as f64,
+            val_acc,
+        });
+    }
+    history
+}
+
+/// BCE loss and accuracy of the joint model over examples.
+pub fn joint_loss_acc(
+    jm: &mut JointModel,
+    ds: &Dataset,
+    examples: &[JointExample],
+    batch_size: usize,
+) -> (f64, f64) {
+    let crop = jm.crop();
+    let mut loss_sum = 0.0;
+    let mut correct = 0usize;
+    let mut n = 0usize;
+    for chunk in examples.chunks(batch_size) {
+        let (images, dates, targets, _) = joint_batch(ds, chunk, crop);
+        let y = jm.forward(&images, &dates, Mode::Eval);
+        let (loss, _) = bce_with_logits(&y, &targets);
+        loss_sum += f64::from(loss) * chunk.len() as f64;
+        let probs = sigmoid_probs(&y);
+        correct += probs
+            .data()
+            .iter()
+            .zip(targets.data())
+            .filter(|(&p, &t)| (p >= 0.5) == (t >= 0.5))
+            .count();
+        n += chunk.len();
+    }
+    (loss_sum / n as f64, correct as f64 / n as f64)
+}
+
+/// Joint-model probabilities and labels over examples (for ROC/AUC).
+pub fn joint_scores(
+    jm: &mut JointModel,
+    ds: &Dataset,
+    examples: &[JointExample],
+    batch_size: usize,
+) -> (Vec<f64>, Vec<bool>) {
+    let crop = jm.crop();
+    let mut scores = Vec::with_capacity(examples.len());
+    let mut labels = Vec::with_capacity(examples.len());
+    for chunk in examples.chunks(batch_size) {
+        let (images, dates, _, chunk_labels) = joint_batch(ds, chunk, crop);
+        let y = jm.forward(&images, &dates, Mode::Eval);
+        let probs = sigmoid_probs(&y);
+        scores.extend(probs.data().iter().map(|&p| f64::from(p)));
+        labels.extend(chunk_labels);
+    }
+    (scores, labels)
+}
+
+/// Pre-training target check: the CNN's regression target for a flux pair
+/// (re-exported for the bench binaries' diagnostics).
+pub fn regression_target_of(pair_true_mag: f64) -> f32 {
+    mag_to_target(pair_true_mag)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flux_cnn::PoolKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snia_dataset::{split_indices, DatasetConfig};
+
+    fn tiny_ds() -> Dataset {
+        Dataset::generate(&DatasetConfig {
+            n_samples: 20,
+            catalog_size: 60,
+            seed: 41,
+        })
+    }
+
+    #[test]
+    fn flux_pair_refs_respects_limit() {
+        let ds = tiny_ds();
+        let refs = flux_pair_refs(&ds, &[0, 1, 2], 3, 1);
+        assert_eq!(refs.len(), 9);
+        assert!(refs.iter().all(|&(si, oi)| si < 3 && oi < 20));
+    }
+
+    #[test]
+    fn flux_training_reduces_loss() {
+        let ds = tiny_ds();
+        let (tr, va, _) = split_indices(ds.len(), 1);
+        let train_refs = flux_pair_refs(&ds, &tr, 2, 2);
+        let val_refs = flux_pair_refs(&ds, &va, 2, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cnn = FluxCnn::new(36, PoolKind::Max, &mut rng);
+        let cfg = FluxTrainConfig {
+            crop: 36,
+            epochs: 3,
+            batch_size: 8,
+            lr: 2e-3,
+            pairs_per_sample: 2,
+            augment: true,
+            seed: 5,
+        };
+        let hist = train_flux_cnn(&mut cnn, &ds, &train_refs, &val_refs, &cfg);
+        assert_eq!(hist.len(), 3);
+        assert!(
+            hist.last().unwrap().train_loss < hist[0].train_loss,
+            "train loss did not drop: {hist:?}"
+        );
+    }
+
+    #[test]
+    fn flux_predictions_align_with_refs() {
+        let ds = tiny_ds();
+        let refs = flux_pair_refs(&ds, &[0, 1], 2, 6);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut cnn = FluxCnn::new(36, PoolKind::Max, &mut rng);
+        let preds = flux_predictions(&mut cnn, &ds, &refs, 36, 4);
+        assert_eq!(preds.len(), refs.len());
+        for (t, e) in &preds {
+            assert!(t.is_finite() && e.is_finite());
+        }
+    }
+
+    #[test]
+    fn feature_matrix_shapes() {
+        let ds = tiny_ds();
+        let idx: Vec<usize> = (0..10).collect();
+        let (x1, t1, l1) = feature_matrix(&ds, &idx, 1);
+        assert_eq!(x1.shape(), &[40, 10]); // 4 single-epoch subsets each
+        assert_eq!(t1.shape(), &[40, 1]);
+        assert_eq!(l1.len(), 40);
+        let (x4, ..) = feature_matrix(&ds, &idx, 4);
+        assert_eq!(x4.shape(), &[10, 40]);
+    }
+
+    #[test]
+    fn classifier_training_learns_something() {
+        let ds = Dataset::generate(&DatasetConfig {
+            n_samples: 200,
+            catalog_size: 300,
+            seed: 42,
+        });
+        let (tr, va, _) = split_indices(ds.len(), 2);
+        let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
+        let (xv, tv, _) = feature_matrix(&ds, &va, 1);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut clf = LightCurveClassifier::new(1, 32, &mut rng);
+        let cfg = ClassifierTrainConfig {
+            epochs: 15,
+            batch_size: 64,
+            lr: 3e-3,
+            seed: 9,
+        };
+        let hist = train_classifier(&mut clf, (&xt, &tt), (&xv, &tv), &cfg);
+        let last = hist.last().unwrap();
+        assert!(
+            last.val_acc > 0.6,
+            "classifier failed to beat chance: {last:?}"
+        );
+    }
+
+    #[test]
+    fn joint_examples_expand_epochs() {
+        let ex = joint_examples(&[3, 5]);
+        assert_eq!(ex.len(), 8);
+        assert_eq!(ex[0], JointExample { sample: 3, epoch: 0 });
+        assert_eq!(ex[7], JointExample { sample: 5, epoch: 3 });
+    }
+
+    #[test]
+    fn joint_batch_shapes() {
+        let ds = tiny_ds();
+        let ex = joint_examples(&[0, 1]);
+        let (images, dates, targets, labels) = joint_batch(&ds, &ex[..3], 36);
+        assert_eq!(images.shape(), &[15, 1, 36, 36]);
+        assert_eq!(dates.shape(), &[3, 5]);
+        assert_eq!(targets.shape(), &[3, 1]);
+        assert_eq!(labels.len(), 3);
+        assert!(images.all_finite());
+    }
+
+    #[test]
+    fn joint_scores_cover_examples() {
+        let ds = tiny_ds();
+        let ex = joint_examples(&[0, 1, 2]);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut jm = JointModel::from_scratch(36, 8, &mut rng);
+        let (scores, labels) = joint_scores(&mut jm, &ds, &ex, 4);
+        assert_eq!(scores.len(), ex.len());
+        assert_eq!(labels.len(), ex.len());
+        assert!(scores.iter().all(|s| (0.0..=1.0).contains(s)));
+    }
+}

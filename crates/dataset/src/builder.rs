@@ -1,0 +1,249 @@
+//! Dataset generation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use snia_lightcurve::priors::{sample_non_ia_type, sample_params};
+use snia_lightcurve::SnType;
+use snia_skysim::{GalaxyCatalog, ObservingConditions, STAMP_SIZE};
+
+use crate::schedule::ObservationSchedule;
+use crate::spec::SampleSpec;
+
+/// Season start MJD used for all samples (arbitrary epoch; schedules add
+/// their own per-sample cadence jitter).
+pub const SEASON_START_MJD: f64 = 59_000.0;
+
+/// Configuration for dataset generation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DatasetConfig {
+    /// Total number of samples (half SNIa, half contaminants). The paper
+    /// uses 12,000.
+    pub n_samples: usize,
+    /// Galaxies in the synthetic catalog (hosts are drawn from it).
+    pub catalog_size: usize,
+    /// Master seed; everything downstream is deterministic in it.
+    pub seed: u64,
+}
+
+impl Default for DatasetConfig {
+    /// A laptop-friendly default (1,200 samples); the paper-scale
+    /// configuration is [`DatasetConfig::paper_scale`].
+    fn default() -> Self {
+        DatasetConfig {
+            n_samples: 1200,
+            catalog_size: 5000,
+            seed: 20170101,
+        }
+    }
+}
+
+impl DatasetConfig {
+    /// The paper's full-scale configuration: 12,000 samples.
+    pub fn paper_scale() -> Self {
+        DatasetConfig {
+            n_samples: 12_000,
+            catalog_size: 20_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// A generated dataset: the host catalog plus one [`SampleSpec`] per
+/// supernova.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    /// The synthetic galaxy catalog the hosts were drawn from.
+    pub catalog: GalaxyCatalog,
+    /// The samples, class-balanced and id-ordered.
+    pub samples: Vec<SampleSpec>,
+}
+
+impl Dataset {
+    /// Generates a dataset: for each sample draw a host, a type
+    /// (alternating Ia / contaminant for exact class balance), light-curve
+    /// parameters at the host's photo-z, a campaign schedule, per-epoch
+    /// conditions and a supernova position inside the host's ellipse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero samples or catalog).
+    pub fn generate(config: &DatasetConfig) -> Self {
+        assert!(config.n_samples > 0, "need at least one sample");
+        assert!(config.catalog_size > 0, "need a non-empty catalog");
+        let catalog = GalaxyCatalog::generate(config.catalog_size, config.seed);
+        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
+        let samples = (0..config.n_samples)
+            .map(|i| Self::generate_sample(i as u64, &catalog, &mut rng))
+            .collect();
+        Dataset { catalog, samples }
+    }
+
+    fn generate_sample(id: u64, catalog: &GalaxyCatalog, rng: &mut StdRng) -> SampleSpec {
+        let galaxy = *catalog.sample(rng);
+        let sn_type = if id % 2 == 0 {
+            SnType::Ia
+        } else {
+            sample_non_ia_type(rng)
+        };
+        let schedule = ObservationSchedule::generate(rng, SEASON_START_MJD);
+        // Peak somewhere the campaign can catch: from slightly before the
+        // season to slightly before its end.
+        let peak_lo = schedule.season_start - 10.0;
+        let peak_hi = schedule.season_start + schedule.season_length - 10.0;
+        let sn = sample_params(rng, sn_type, galaxy.photo_z, peak_lo, peak_hi);
+
+        // Galaxy sits near the stamp centre (registered cutouts).
+        let c = SampleSpec::stamp_center();
+        let galaxy_cx = c + rng.gen_range(-1.5..1.5);
+        let galaxy_cy = c + rng.gen_range(-1.5..1.5);
+
+        // SN position: uniform inside 1.5× the host's half-light ellipse
+        // (the paper samples from an ellipsoidal region fitted to the
+        // host), clamped into the stamp.
+        let profile = galaxy.profile();
+        let (a, b) = profile.half_light_ellipse();
+        let (scale_a, scale_b) = (1.5 * a.max(1.0), 1.5 * b.max(0.6));
+        let theta = rng.gen_range(0.0..std::f64::consts::TAU);
+        let r = rng.gen::<f64>().sqrt();
+        let (u, v) = (scale_a * r * theta.cos(), scale_b * r * theta.sin());
+        let (sp, cp) = galaxy.position_angle.sin_cos();
+        let max_off = (STAMP_SIZE as f64) / 2.0 - 8.0;
+        let sn_dx = (cp * u - sp * v).clamp(-max_off, max_off);
+        let sn_dy = (sp * u + cp * v).clamp(-max_off, max_off);
+
+        let obs_conditions = schedule
+            .observations
+            .iter()
+            .map(|&(band, _)| ObservingConditions::sample(rng, band.index()))
+            .collect();
+        let ref_conditions = std::array::from_fn(|b| ObservingConditions::sample(rng, b));
+
+        SampleSpec {
+            id,
+            galaxy,
+            sn,
+            schedule,
+            galaxy_cx,
+            galaxy_cy,
+            sn_dx,
+            sn_dy,
+            obs_conditions,
+            ref_conditions,
+            noise_seed: id.wrapping_mul(0x517C_C1B7_2722_0A95).wrapping_add(77),
+        }
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the dataset is empty (never true for generated datasets).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Indices of all SNIa samples.
+    pub fn ia_indices(&self) -> Vec<usize> {
+        (0..self.samples.len())
+            .filter(|&i| self.samples[i].is_ia())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = DatasetConfig {
+            n_samples: 10,
+            catalog_size: 100,
+            seed: 5,
+        };
+        assert_eq!(Dataset::generate(&cfg), Dataset::generate(&cfg));
+    }
+
+    #[test]
+    fn classes_are_balanced() {
+        let ds = Dataset::generate(&DatasetConfig {
+            n_samples: 100,
+            catalog_size: 200,
+            seed: 6,
+        });
+        assert_eq!(ds.ia_indices().len(), 50);
+    }
+
+    #[test]
+    fn contaminants_cover_multiple_types() {
+        let ds = Dataset::generate(&DatasetConfig {
+            n_samples: 200,
+            catalog_size: 200,
+            seed: 7,
+        });
+        let mut types = std::collections::HashSet::new();
+        for s in &ds.samples {
+            if !s.is_ia() {
+                types.insert(s.sn.sn_type);
+            }
+        }
+        assert!(types.len() >= 4, "only {types:?}");
+    }
+
+    #[test]
+    fn redshift_comes_from_host() {
+        let ds = Dataset::generate(&DatasetConfig {
+            n_samples: 20,
+            catalog_size: 100,
+            seed: 8,
+        });
+        for s in &ds.samples {
+            assert_eq!(s.sn.redshift, s.galaxy.photo_z);
+        }
+    }
+
+    #[test]
+    fn peak_dates_lie_near_the_season() {
+        let ds = Dataset::generate(&DatasetConfig {
+            n_samples: 50,
+            catalog_size: 100,
+            seed: 9,
+        });
+        for s in &ds.samples {
+            let lo = s.schedule.season_start - 10.0;
+            let hi = s.schedule.season_start + s.schedule.season_length - 10.0;
+            assert!((lo..=hi).contains(&s.sn.peak_mjd));
+        }
+    }
+
+    #[test]
+    fn ids_are_sequential() {
+        let ds = Dataset::generate(&DatasetConfig {
+            n_samples: 10,
+            catalog_size: 50,
+            seed: 10,
+        });
+        for (i, s) in ds.samples.iter().enumerate() {
+            assert_eq!(s.id, i as u64);
+        }
+    }
+
+    #[test]
+    fn paper_scale_config_matches_paper() {
+        let cfg = DatasetConfig::paper_scale();
+        assert_eq!(cfg.n_samples, 12_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one sample")]
+    fn zero_samples_panics() {
+        Dataset::generate(&DatasetConfig {
+            n_samples: 0,
+            catalog_size: 10,
+            seed: 1,
+        });
+    }
+}

@@ -1,0 +1,44 @@
+//! # snia-dataset
+//!
+//! The synthetic dataset of Section 3 of the paper, built on
+//! [`snia_skysim`] (galaxy catalog + image rendering) and
+//! [`snia_lightcurve`] (light-curve templates).
+//!
+//! One dataset *sample* is a supernova embedded in a host galaxy together
+//! with a full observation campaign:
+//!
+//! * 20 observation images (5 bands × 4 epochs, supernova embedded),
+//! * 5 reference images (no supernova),
+//! * the true light curve.
+//!
+//! Samples are stored as compact generative [`SampleSpec`]s and rendered
+//! **on demand, deterministically** — the full-scale dataset (12,000
+//! samples × 25 images of 65×65) would be ~4 GB as pixels but is only a few
+//! MB as specs. `spec.observation_image(e, b)` always returns the same
+//! pixels for the same spec.
+//!
+//! The paper's derived training sets are provided as extraction helpers:
+//!
+//! * [`spec::SampleSpec::flux_pair`] — (reference, observation,
+//!   true magnitude) triples for the band-wise CNN regression task;
+//! * [`features::epoch_features`] — the 10-dimensional
+//!   (5 estimated/true magnitudes + 5 dates) feature vectors for the
+//!   light-curve classifier, for any subset of epochs;
+//! * [`splits`] — the deterministic 80/10/10 train/val/test partition.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bogus;
+pub mod builder;
+pub mod export;
+pub mod features;
+pub mod schedule;
+pub mod spec;
+pub mod splits;
+
+pub use builder::{Dataset, DatasetConfig};
+pub use features::{epoch_features, FeatureVector, MAG_FAINT_LIMIT};
+pub use schedule::{ObservationSchedule, EPOCHS_PER_BAND};
+pub use spec::{FluxPair, SampleSpec};
+pub use splits::{split_indices, Split};

@@ -1,0 +1,157 @@
+//! Observation scheduling.
+//!
+//! The paper: "we arrange the observation schedule so that no more than 2
+//! band images are taken on the same day and every band has 4 observations
+//! in total". Ten observing nights spread over a ~60-day season, two bands
+//! per night, rotating through the bands so each of the five bands is
+//! visited exactly four times.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use snia_lightcurve::Band;
+
+/// Number of epochs each band is observed.
+pub const EPOCHS_PER_BAND: usize = 4;
+
+/// Number of observing nights (2 bands per night × 10 nights = 20 images).
+pub const NIGHTS: usize = 10;
+
+/// A full observing campaign for one sample.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservationSchedule {
+    /// MJD of the archival reference images (one per band; all taken on
+    /// the same pre-season night).
+    pub reference_mjd: f64,
+    /// The season's observations: `(band, mjd)`, sorted by date.
+    pub observations: Vec<(Band, f64)>,
+    /// First night of the season (MJD).
+    pub season_start: f64,
+    /// Length of the season in days.
+    pub season_length: f64,
+}
+
+impl ObservationSchedule {
+    /// Generates a schedule starting at `season_start` (MJD), with nights
+    /// roughly every 6 days plus jitter.
+    ///
+    /// Guarantees: every band appears exactly [`EPOCHS_PER_BAND`] times and
+    /// no night carries more than two bands.
+    pub fn generate<R: Rng + ?Sized>(rng: &mut R, season_start: f64) -> Self {
+        let mut observations = Vec::with_capacity(NIGHTS * 2);
+        let mut night_mjd = season_start;
+        for night in 0..NIGHTS {
+            // Two bands per night; the rotation (2i, 2i+1) mod 5 visits
+            // every band exactly 4 times over 10 nights.
+            let b1 = Band::from_index((2 * night) % 5);
+            let b2 = Band::from_index((2 * night + 1) % 5);
+            observations.push((b1, night_mjd));
+            observations.push((b2, night_mjd));
+            // ~6-day cadence with weather jitter.
+            night_mjd += rng.gen_range(4.5..7.5);
+        }
+        let season_length = night_mjd - season_start;
+        ObservationSchedule {
+            reference_mjd: season_start - rng.gen_range(180.0..365.0),
+            observations,
+            season_start,
+            season_length,
+        }
+    }
+
+    /// The observation epochs of one band, in time order
+    /// (length [`EPOCHS_PER_BAND`]).
+    pub fn epochs_of(&self, band: Band) -> Vec<f64> {
+        self.observations
+            .iter()
+            .filter(|(b, _)| *b == band)
+            .map(|&(_, mjd)| mjd)
+            .collect()
+    }
+
+    /// The `k`-th epoch (0-based) for every band, as `(band, mjd)` in band
+    /// order — one "single-epoch observation" in the paper's sense.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= EPOCHS_PER_BAND`.
+    pub fn epoch_set(&self, k: usize) -> Vec<(Band, f64)> {
+        assert!(k < EPOCHS_PER_BAND, "epoch index out of range");
+        Band::ALL
+            .iter()
+            .map(|&b| (b, self.epochs_of(b)[k]))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sched(seed: u64) -> ObservationSchedule {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ObservationSchedule::generate(&mut rng, 59000.0)
+    }
+
+    #[test]
+    fn every_band_has_four_epochs() {
+        let s = sched(1);
+        for b in Band::ALL {
+            assert_eq!(s.epochs_of(b).len(), EPOCHS_PER_BAND, "band {b}");
+        }
+        assert_eq!(s.observations.len(), 20);
+    }
+
+    #[test]
+    fn at_most_two_bands_per_night() {
+        let s = sched(2);
+        let mut by_night: std::collections::HashMap<u64, usize> = Default::default();
+        for &(_, mjd) in &s.observations {
+            *by_night.entry(mjd.to_bits()).or_insert(0) += 1;
+        }
+        assert!(by_night.values().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn same_night_bands_are_distinct() {
+        let s = sched(3);
+        for chunk in s.observations.chunks(2) {
+            assert_ne!(chunk[0].0, chunk[1].0);
+        }
+    }
+
+    #[test]
+    fn epochs_are_time_ordered_and_cadenced() {
+        let s = sched(4);
+        for b in Band::ALL {
+            let e = s.epochs_of(b);
+            assert!(e.windows(2).all(|w| w[0] < w[1]));
+        }
+        assert!(s.season_length > 40.0 && s.season_length < 80.0);
+    }
+
+    #[test]
+    fn reference_predates_season() {
+        let s = sched(5);
+        assert!(s.reference_mjd < s.season_start - 90.0);
+    }
+
+    #[test]
+    fn epoch_set_covers_all_bands() {
+        let s = sched(6);
+        for k in 0..EPOCHS_PER_BAND {
+            let set = s.epoch_set(k);
+            assert_eq!(set.len(), 5);
+            let bands: Vec<Band> = set.iter().map(|&(b, _)| b).collect();
+            assert_eq!(bands, Band::ALL.to_vec());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "epoch index")]
+    fn epoch_set_out_of_range_panics() {
+        sched(7).epoch_set(EPOCHS_PER_BAND);
+    }
+}

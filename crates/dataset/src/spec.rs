@@ -1,0 +1,310 @@
+//! Compact generative sample specifications and on-demand rendering.
+
+use serde::{Deserialize, Serialize};
+
+use snia_lightcurve::{mag_to_flux, Band, LightCurve, SnParams};
+use snia_skysim::catalog::Galaxy;
+use snia_skysim::{render_cutout, CutoutSpec, Image, ObservingConditions, STAMP_SIZE};
+
+use crate::schedule::ObservationSchedule;
+
+/// One dataset sample: a supernova of known type embedded in a host galaxy,
+/// observed on a 5-band × 4-epoch campaign with per-epoch conditions.
+///
+/// The spec is the *generative description*; images are rendered lazily and
+/// deterministically from it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SampleSpec {
+    /// Sample identifier (stable across runs for a fixed dataset seed).
+    pub id: u64,
+    /// The host galaxy drawn from the catalog.
+    pub galaxy: Galaxy,
+    /// The supernova's light-curve parameters.
+    pub sn: SnParams,
+    /// The observing campaign.
+    pub schedule: ObservationSchedule,
+    /// Galaxy centre in the stamp, pixels.
+    pub galaxy_cx: f64,
+    /// Galaxy centre in the stamp, pixels.
+    pub galaxy_cy: f64,
+    /// Supernova offset from the galaxy centre, pixels.
+    pub sn_dx: f64,
+    /// Supernova offset from the galaxy centre, pixels.
+    pub sn_dy: f64,
+    /// Conditions for each entry of `schedule.observations`.
+    pub obs_conditions: Vec<ObservingConditions>,
+    /// Conditions for the five per-band reference images.
+    pub ref_conditions: [ObservingConditions; 5],
+    /// Base seed for deterministic noise fields.
+    pub noise_seed: u64,
+}
+
+/// A (reference, observation) image pair with its regression target — one
+/// training example for the band-wise flux CNN.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FluxPair {
+    /// Band of the pair.
+    pub band: Band,
+    /// Observation MJD.
+    pub mjd: f64,
+    /// Reference image (no supernova).
+    pub reference: Image,
+    /// Observation image (supernova embedded).
+    pub observation: Image,
+    /// Ground-truth supernova magnitude at `mjd` in `band`.
+    pub true_mag: f64,
+}
+
+/// Mixes a sample seed with a render-slot tag (splitmix64 finalizer).
+fn mix_seed(base: u64, tag: u64) -> u64 {
+    let mut z = base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl SampleSpec {
+    /// Whether this sample is a Type Ia supernova (the positive class).
+    pub fn is_ia(&self) -> bool {
+        self.sn.sn_type.is_ia()
+    }
+
+    /// The noise-free light curve of the embedded supernova.
+    pub fn light_curve(&self) -> LightCurve {
+        LightCurve::new(self.sn)
+    }
+
+    /// Ground-truth supernova magnitude at an arbitrary band/date.
+    pub fn true_mag(&self, band: Band, mjd: f64) -> f64 {
+        self.light_curve().mag(band, mjd)
+    }
+
+    /// The supernova centre in stamp pixels.
+    pub fn sn_position(&self) -> (f64, f64) {
+        (self.galaxy_cx + self.sn_dx, self.galaxy_cy + self.sn_dy)
+    }
+
+    fn cutout_spec(
+        &self,
+        band: Band,
+        sn_flux: f64,
+        conditions: ObservingConditions,
+        noise_tag: u64,
+    ) -> CutoutSpec {
+        let (sn_cx, sn_cy) = self.sn_position();
+        CutoutSpec {
+            galaxy_index: self.galaxy.sersic_index,
+            galaxy_r_eff_px: self.galaxy.r_eff_px(),
+            galaxy_axis_ratio: self.galaxy.axis_ratio,
+            galaxy_position_angle: self.galaxy.position_angle,
+            galaxy_flux: mag_to_flux(self.galaxy.mag_at(band.wavelength_nm())),
+            galaxy_cx: self.galaxy_cx,
+            galaxy_cy: self.galaxy_cy,
+            sn_cx,
+            sn_cy,
+            sn_flux,
+            conditions,
+            noise_seed: mix_seed(self.noise_seed, noise_tag),
+        }
+    }
+
+    /// Renders the archival reference image for a band (no supernova),
+    /// under the reference epoch's own conditions — the *unmatched* raw
+    /// archive image.
+    ///
+    /// The reference epoch predates the season by months, so even a
+    /// supernova that exploded early in the season contributes nothing.
+    pub fn reference_image(&self, band: Band) -> Image {
+        let cond = self.ref_conditions[band.index()];
+        render_cutout(&self.cutout_spec(band, 0.0, cond, 1000 + band.index() as u64))
+    }
+
+    /// Renders the reference image *PSF-matched* to observation
+    /// `obs_index`, as the survey pipeline delivers it: "a reference image
+    /// convoluted with an appropriately optimized filter to match the
+    /// image quality" (paper, Section 1).
+    ///
+    /// The matched reference has the observation's seeing up to a small
+    /// deterministic matching error (±4%, the imperfection that produces
+    /// realistic subtraction residuals), and the reduced sky noise of a
+    /// deep archival coadd.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs_index` is out of range.
+    pub fn matched_reference_image(&self, obs_index: usize) -> Image {
+        let (band, _) = self.schedule.observations[obs_index];
+        let obs_cond = self.obs_conditions[obs_index];
+        // Deterministic PSF-matching imperfection in [-0.04, +0.04].
+        let eps_bits = mix_seed(self.noise_seed, 2000 + obs_index as u64);
+        let eps = ((eps_bits >> 11) as f64 / (1u64 << 53) as f64 - 0.5) * 0.08;
+        let matched = ObservingConditions {
+            seeing_fwhm_px: obs_cond.seeing_fwhm_px * (1.0 + eps),
+            transparency: 1.0, // calibrated coadd
+            sky_sigma: self.ref_conditions[band.index()].sky_sigma * 0.5,
+        };
+        render_cutout(&self.cutout_spec(band, 0.0, matched, 3000 + obs_index as u64))
+    }
+
+    /// Renders observation `obs_index` (an index into
+    /// `schedule.observations`), with the supernova at its true flux for
+    /// that night.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs_index` is out of range.
+    pub fn observation_image(&self, obs_index: usize) -> Image {
+        let (band, mjd) = self.schedule.observations[obs_index];
+        let sn_flux = self.light_curve().flux(band, mjd);
+        let cond = self.obs_conditions[obs_index];
+        render_cutout(&self.cutout_spec(band, sn_flux, cond, obs_index as u64))
+    }
+
+    /// Builds the [`FluxPair`] for observation `obs_index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `obs_index` is out of range.
+    pub fn flux_pair(&self, obs_index: usize) -> FluxPair {
+        let (band, mjd) = self.schedule.observations[obs_index];
+        FluxPair {
+            band,
+            mjd,
+            reference: self.matched_reference_image(obs_index),
+            observation: self.observation_image(obs_index),
+            true_mag: self.true_mag(band, mjd),
+        }
+    }
+
+    /// All five flux pairs of single-epoch set `k` (the `k`-th visit of
+    /// every band), in band order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= EPOCHS_PER_BAND`.
+    pub fn epoch_pairs(&self, k: usize) -> Vec<FluxPair> {
+        let wanted = self.schedule.epoch_set(k);
+        wanted
+            .iter()
+            .map(|&(band, mjd)| {
+                let idx = self
+                    .schedule
+                    .observations
+                    .iter()
+                    .position(|&(b, m)| b == band && m == mjd)
+                    .expect("epoch_set entry must exist in schedule");
+                self.flux_pair(idx)
+            })
+            .collect()
+    }
+
+    /// The stamp centre, useful for position checks.
+    pub fn stamp_center() -> f64 {
+        (STAMP_SIZE as f64 - 1.0) / 2.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{Dataset, DatasetConfig};
+
+    fn tiny() -> Dataset {
+        Dataset::generate(&DatasetConfig {
+            n_samples: 4,
+            catalog_size: 50,
+            seed: 11,
+        })
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let ds = tiny();
+        let s = &ds.samples[0];
+        assert_eq!(s.observation_image(3), s.observation_image(3));
+        assert_eq!(s.reference_image(Band::I), s.reference_image(Band::I));
+    }
+
+    #[test]
+    fn different_observations_have_different_noise() {
+        let ds = tiny();
+        let s = &ds.samples[0];
+        // Two epochs of the same band differ (conditions + noise + SN flux).
+        let epochs: Vec<usize> = s
+            .schedule
+            .observations
+            .iter()
+            .enumerate()
+            .filter(|(_, (b, _))| *b == Band::R)
+            .map(|(i, _)| i)
+            .collect();
+        assert!(epochs.len() >= 2);
+        assert_ne!(
+            s.observation_image(epochs[0]),
+            s.observation_image(epochs[1])
+        );
+    }
+
+    #[test]
+    fn flux_pair_difference_contains_sn_flux_when_bright() {
+        let ds = tiny();
+        // Find the brightest (band, epoch) over all samples to make the
+        // check robust.
+        let mut best: Option<(usize, usize, f64)> = None;
+        for (si, s) in ds.samples.iter().enumerate() {
+            for oi in 0..s.schedule.observations.len() {
+                let (band, mjd) = s.schedule.observations[oi];
+                let f = s.light_curve().flux(band, mjd);
+                if best.map_or(true, |(_, _, bf)| f > bf) {
+                    best = Some((si, oi, f));
+                }
+            }
+        }
+        let (si, oi, f) = best.unwrap();
+        if f < 20.0 {
+            return; // all SNe too faint in this tiny draw; nothing to assert
+        }
+        let pair = ds.samples[si].flux_pair(oi);
+        let diff = pair.observation.subtract(&pair.reference);
+        let recovered = diff.sum() as f64;
+        // Transparency can eat some flux; require the right order of
+        // magnitude rather than equality.
+        assert!(
+            recovered > 0.3 * f && recovered < 2.0 * f,
+            "recovered {recovered} vs true {f}"
+        );
+    }
+
+    #[test]
+    fn epoch_pairs_are_band_ordered() {
+        let ds = tiny();
+        let pairs = ds.samples[1].epoch_pairs(0);
+        let bands: Vec<Band> = pairs.iter().map(|p| p.band).collect();
+        assert_eq!(bands, Band::ALL.to_vec());
+    }
+
+    #[test]
+    fn sn_position_is_inside_stamp() {
+        let ds = tiny();
+        for s in &ds.samples {
+            let (x, y) = s.sn_position();
+            assert!(x > 4.0 && x < (STAMP_SIZE - 5) as f64, "x {x}");
+            assert!(y > 4.0 && y < (STAMP_SIZE - 5) as f64, "y {y}");
+        }
+    }
+
+    #[test]
+    fn true_mag_matches_light_curve() {
+        let ds = tiny();
+        let s = &ds.samples[2];
+        let (band, mjd) = s.schedule.observations[5];
+        assert_eq!(s.true_mag(band, mjd), s.light_curve().mag(band, mjd));
+    }
+
+    #[test]
+    fn mix_seed_varies_with_tag() {
+        assert_ne!(mix_seed(1, 0), mix_seed(1, 1));
+        assert_ne!(mix_seed(1, 0), mix_seed(2, 0));
+        assert_eq!(mix_seed(7, 3), mix_seed(7, 3));
+    }
+}

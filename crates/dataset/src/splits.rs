@@ -1,0 +1,85 @@
+//! Deterministic train/validation/test partitioning.
+//!
+//! The paper: 80% training (9,600 at full scale), 10% validation (1,200),
+//! 10% test (1,200).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Which partition a sample belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Split {
+    /// 80% training partition.
+    Train,
+    /// 10% validation partition.
+    Val,
+    /// 10% held-out test partition.
+    Test,
+}
+
+/// Shuffles `0..n` with the given seed and splits 80/10/10.
+///
+/// Returns `(train, val, test)` index vectors. Every index appears exactly
+/// once; the same `(n, seed)` always produces the same split.
+///
+/// # Panics
+///
+/// Panics if `n < 10` (each partition must be non-empty).
+pub fn split_indices(n: usize, seed: u64) -> (Vec<usize>, Vec<usize>, Vec<usize>) {
+    assert!(n >= 10, "need at least 10 samples to split 80/10/10");
+    let mut idx: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    idx.shuffle(&mut rng);
+    let n_train = n * 8 / 10;
+    let n_val = n / 10;
+    let train = idx[..n_train].to_vec();
+    let val = idx[n_train..n_train + n_val].to_vec();
+    let test = idx[n_train + n_val..].to_vec();
+    (train, val, test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_are_disjoint_and_cover() {
+        let (tr, va, te) = split_indices(100, 1);
+        assert_eq!(tr.len(), 80);
+        assert_eq!(va.len(), 10);
+        assert_eq!(te.len(), 10);
+        let mut all: Vec<usize> = tr.iter().chain(&va).chain(&te).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        assert_eq!(split_indices(50, 2), split_indices(50, 2));
+        assert_ne!(split_indices(50, 2).0, split_indices(50, 3).0);
+    }
+
+    #[test]
+    fn split_is_shuffled() {
+        let (tr, _, _) = split_indices(1000, 4);
+        // The first 800 natural numbers would be sorted; a shuffle is not.
+        let sorted = tr.windows(2).all(|w| w[0] < w[1]);
+        assert!(!sorted);
+    }
+
+    #[test]
+    fn paper_scale_sizes() {
+        let (tr, va, te) = split_indices(12_000, 5);
+        assert_eq!(tr.len(), 9_600);
+        assert_eq!(va.len(), 1_200);
+        assert_eq!(te.len(), 1_200);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 10")]
+    fn tiny_n_panics() {
+        split_indices(5, 0);
+    }
+}

@@ -1,0 +1,107 @@
+//! Photometric broad-band filters.
+
+use serde::{Deserialize, Serialize};
+
+/// The five broad-band filters used by the paper's survey (Hyper
+/// Suprime-Cam g, r, i, z, y).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Band {
+    /// g band (~480 nm).
+    G,
+    /// r band (~620 nm).
+    R,
+    /// i band (~770 nm).
+    I,
+    /// z band (~890 nm).
+    Z,
+    /// y band (~1000 nm).
+    Y,
+}
+
+impl Band {
+    /// All five bands in wavelength order.
+    pub const ALL: [Band; 5] = [Band::G, Band::R, Band::I, Band::Z, Band::Y];
+
+    /// Number of bands.
+    pub const COUNT: usize = 5;
+
+    /// Effective wavelength in nanometres.
+    pub fn wavelength_nm(self) -> f64 {
+        match self {
+            Band::G => 480.0,
+            Band::R => 620.0,
+            Band::I => 770.0,
+            Band::Z => 890.0,
+            Band::Y => 1000.0,
+        }
+    }
+
+    /// Stable index in `0..5`, in wavelength order.
+    pub fn index(self) -> usize {
+        match self {
+            Band::G => 0,
+            Band::R => 1,
+            Band::I => 2,
+            Band::Z => 3,
+            Band::Y => 4,
+        }
+    }
+
+    /// The band for a given index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 5`.
+    pub fn from_index(index: usize) -> Band {
+        Band::ALL[index]
+    }
+
+    /// One-letter label (`"g"`, `"r"`, ...).
+    pub fn label(self) -> &'static str {
+        match self {
+            Band::G => "g",
+            Band::R => "r",
+            Band::I => "i",
+            Band::Z => "z",
+            Band::Y => "y",
+        }
+    }
+}
+
+impl std::fmt::Display for Band {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indices_round_trip() {
+        for (i, b) in Band::ALL.iter().enumerate() {
+            assert_eq!(b.index(), i);
+            assert_eq!(Band::from_index(i), *b);
+        }
+    }
+
+    #[test]
+    fn wavelengths_increase() {
+        let waves: Vec<f64> = Band::ALL.iter().map(|b| b.wavelength_nm()).collect();
+        assert!(waves.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let mut labels: Vec<&str> = Band::ALL.iter().map(|b| b.label()).collect();
+        labels.dedup();
+        assert_eq!(labels.len(), 5);
+    }
+
+    #[test]
+    fn display_matches_label() {
+        assert_eq!(Band::G.to_string(), "g");
+        assert_eq!(format!("{}", Band::Y), "y");
+    }
+}

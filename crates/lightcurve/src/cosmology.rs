@@ -1,0 +1,113 @@
+//! Flat ΛCDM distances for converting absolute to apparent magnitudes.
+//!
+//! Fixed fiducial cosmology: `H₀ = 70 km/s/Mpc`, `Ωm = 0.3`, `ΩΛ = 0.7` —
+//! the same class of cosmology the COSMOS photo-z catalog assumes. Only the
+//! distance modulus is needed by the simulators.
+
+/// Hubble constant, km/s/Mpc.
+pub const H0: f64 = 70.0;
+/// Matter density parameter.
+pub const OMEGA_M: f64 = 0.3;
+/// Dark-energy density parameter (flat universe).
+pub const OMEGA_L: f64 = 1.0 - OMEGA_M;
+/// Speed of light, km/s.
+pub const C_KM_S: f64 = 299_792.458;
+
+/// Dimensionless Hubble function `E(z) = H(z)/H₀` for flat ΛCDM.
+pub fn e_of_z(z: f64) -> f64 {
+    (OMEGA_M * (1.0 + z).powi(3) + OMEGA_L).sqrt()
+}
+
+/// Comoving distance in Mpc, by Simpson-rule integration of `c/H₀ ∫ dz/E`.
+///
+/// # Panics
+///
+/// Panics if `z` is negative or non-finite.
+pub fn comoving_distance_mpc(z: f64) -> f64 {
+    assert!(z.is_finite() && z >= 0.0, "invalid redshift {z}");
+    if z == 0.0 {
+        return 0.0;
+    }
+    // Simpson's rule with enough panels for < 0.01% error out to z = 3.
+    let n = 256; // even
+    let h = z / n as f64;
+    let f = |zz: f64| 1.0 / e_of_z(zz);
+    let mut acc = f(0.0) + f(z);
+    for i in 1..n {
+        let w = if i % 2 == 1 { 4.0 } else { 2.0 };
+        acc += w * f(i as f64 * h);
+    }
+    (C_KM_S / H0) * acc * h / 3.0
+}
+
+/// Luminosity distance in Mpc: `(1+z) · D_C` for a flat universe.
+pub fn luminosity_distance_mpc(z: f64) -> f64 {
+    (1.0 + z) * comoving_distance_mpc(z)
+}
+
+/// Distance modulus `μ = 5·log10(D_L / 10 pc)`.
+///
+/// # Panics
+///
+/// Panics if `z <= 0` (the modulus diverges at z = 0).
+pub fn distance_modulus(z: f64) -> f64 {
+    assert!(z > 0.0, "distance modulus undefined for z <= 0 (got {z})");
+    5.0 * (luminosity_distance_mpc(z) * 1e6 / 10.0).log10()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e_of_z_at_zero_is_one() {
+        assert!((e_of_z(0.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn comoving_distance_is_monotonic() {
+        let mut prev = 0.0;
+        for i in 1..30 {
+            let z = i as f64 * 0.1;
+            let d = comoving_distance_mpc(z);
+            assert!(d > prev);
+            prev = d;
+        }
+    }
+
+    #[test]
+    fn low_z_matches_hubble_law() {
+        // D ≈ cz/H0 for small z.
+        let z = 0.01;
+        let d = comoving_distance_mpc(z);
+        let hubble = C_KM_S * z / H0;
+        assert!((d / hubble - 1.0).abs() < 0.01, "{d} vs {hubble}");
+    }
+
+    #[test]
+    fn known_distance_modulus_values() {
+        // Reference values for flat ΛCDM (70, 0.3): μ(0.1) ≈ 38.3,
+        // μ(0.5) ≈ 42.27, μ(1.0) ≈ 44.1 (standard cosmology calculators).
+        assert!((distance_modulus(0.1) - 38.31).abs() < 0.05);
+        assert!((distance_modulus(0.5) - 42.27).abs() < 0.05);
+        assert!((distance_modulus(1.0) - 44.10).abs() < 0.08);
+    }
+
+    #[test]
+    fn luminosity_distance_exceeds_comoving() {
+        let z = 0.8;
+        assert!(luminosity_distance_mpc(z) > comoving_distance_mpc(z));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid redshift")]
+    fn negative_redshift_panics() {
+        comoving_distance_mpc(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "undefined for z")]
+    fn zero_redshift_modulus_panics() {
+        distance_modulus(0.0);
+    }
+}

@@ -1,0 +1,212 @@
+//! Observed-frame light curves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::band::Band;
+use crate::cosmology::distance_modulus;
+use crate::photometry::mag_to_flux;
+use crate::priors::SnParams;
+use crate::template;
+
+/// One photometric point on a light curve.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LightCurvePoint {
+    /// Band of the observation.
+    pub band: Band,
+    /// Modified Julian Date of the observation.
+    pub mjd: f64,
+    /// Apparent magnitude.
+    pub mag: f64,
+    /// Flux in detector counts (paper zero point 27.0).
+    pub flux: f64,
+}
+
+/// The observed-frame light curve of a synthetic supernova.
+///
+/// Combines the rest-frame template of the supernova type with redshift
+/// effects: distance modulus, `(1+z)` time dilation, the band-shift
+/// K-correction (an observed band samples the template at
+/// `λ_obs / (1+z)`), and the `2.5·log10(1+z)` bandwidth-stretch term.
+///
+/// # Examples
+///
+/// ```
+/// use snia_lightcurve::{Band, LightCurve, SnParams, SnType};
+/// let params = SnParams {
+///     sn_type: SnType::Ia,
+///     redshift: 0.5,
+///     stretch: 1.0,
+///     color: 0.0,
+///     peak_mjd: 100.0,
+///     mag_offset: 0.0,
+/// };
+/// let lc = LightCurve::new(params);
+/// let peak = lc.mag(Band::I, 100.0);
+/// let later = lc.mag(Band::I, 160.0);
+/// assert!(peak < later, "supernovae fade after peak");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LightCurve {
+    params: SnParams,
+    distance_modulus: f64,
+}
+
+/// Colour-law slope (≈ β of the Ia colour correction).
+const COLOR_BETA: f64 = 3.1;
+
+impl LightCurve {
+    /// Builds a light curve from generative parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the redshift is non-positive (no distance modulus).
+    pub fn new(params: SnParams) -> Self {
+        LightCurve {
+            params,
+            distance_modulus: distance_modulus(params.redshift),
+        }
+    }
+
+    /// The generative parameters.
+    pub fn params(&self) -> &SnParams {
+        &self.params
+    }
+
+    /// Apparent magnitude in `band` at the given MJD.
+    pub fn mag(&self, band: Band, mjd: f64) -> f64 {
+        let p = &self.params;
+        let one_plus_z = 1.0 + p.redshift;
+        let rest_phase = (mjd - p.peak_mjd) / one_plus_z;
+        let rest_lambda = band.wavelength_nm() / one_plus_z;
+        let peak = template::peak_abs_mag(p.sn_type, rest_lambda);
+        let dm = template::delta_mag(p.sn_type, p.stretch, rest_lambda, rest_phase);
+        // Colour law: bluer bands are extinguished more.
+        let color_term = COLOR_BETA * p.color * (550.0 / band.wavelength_nm());
+        // Bandwidth-stretch K-correction component.
+        let k_bandwidth = 2.5 * one_plus_z.log10();
+        peak + dm + p.mag_offset + color_term + self.distance_modulus + k_bandwidth
+    }
+
+    /// Noise-free flux (counts) in `band` at the given MJD.
+    pub fn flux(&self, band: Band, mjd: f64) -> f64 {
+        mag_to_flux(self.mag(band, mjd))
+    }
+
+    /// Samples the light curve on an observation schedule, producing one
+    /// point per `(band, mjd)` pair.
+    pub fn sample(&self, schedule: &[(Band, f64)]) -> Vec<LightCurvePoint> {
+        schedule
+            .iter()
+            .map(|&(band, mjd)| {
+                let mag = self.mag(band, mjd);
+                LightCurvePoint {
+                    band,
+                    mjd,
+                    mag,
+                    flux: mag_to_flux(mag),
+                }
+            })
+            .collect()
+    }
+
+    /// Peak apparent magnitude in a band (evaluated at the peak date).
+    pub fn peak_mag(&self, band: Band) -> f64 {
+        self.mag(band, self.params.peak_mjd)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sntype::SnType;
+
+    fn ia_at(z: f64) -> LightCurve {
+        LightCurve::new(SnParams {
+            sn_type: SnType::Ia,
+            redshift: z,
+            stretch: 1.0,
+            color: 0.0,
+            peak_mjd: 100.0,
+            mag_offset: 0.0,
+        })
+    }
+
+    #[test]
+    fn ia_peak_magnitude_is_realistic() {
+        // z = 0.5 SNIa peaks around mag 22.5–23.5 in the observer frame.
+        let m = ia_at(0.5).peak_mag(Band::I);
+        assert!((22.0..24.0).contains(&m), "peak mag {m}");
+        // z = 1.0 around 24–26 (the observed i band samples the rest-frame
+        // near-UV, which is fainter than B for a Ia).
+        let m1 = ia_at(1.0).peak_mag(Band::I);
+        assert!((23.5..26.0).contains(&m1), "peak mag {m1}");
+    }
+
+    #[test]
+    fn higher_redshift_is_fainter() {
+        for band in Band::ALL {
+            assert!(ia_at(0.3).peak_mag(band) < ia_at(0.9).peak_mag(band));
+        }
+    }
+
+    #[test]
+    fn time_dilation_stretches_observed_curve() {
+        let near = ia_at(0.1);
+        let far = ia_at(1.0);
+        // Observed decline over 20 days is slower for the dilated event.
+        let d_near = near.mag(Band::R, 120.0) - near.peak_mag(Band::R);
+        let d_far = far.mag(Band::R, 120.0) - far.peak_mag(Band::R);
+        assert!(d_far < d_near, "no time dilation: {d_far} vs {d_near}");
+    }
+
+    #[test]
+    fn positive_color_dims_blue_more_than_red() {
+        let red_sn = LightCurve::new(SnParams {
+            color: 0.3,
+            ..*ia_at(0.5).params()
+        });
+        let neutral = ia_at(0.5);
+        let dg = red_sn.peak_mag(Band::G) - neutral.peak_mag(Band::G);
+        let dy = red_sn.peak_mag(Band::Y) - neutral.peak_mag(Band::Y);
+        assert!(dg > dy && dg > 0.0);
+    }
+
+    #[test]
+    fn flux_and_mag_are_consistent() {
+        let lc = ia_at(0.4);
+        let m = lc.mag(Band::Z, 110.0);
+        let f = lc.flux(Band::Z, 110.0);
+        assert!((crate::photometry::flux_to_mag(f) - m).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sample_follows_schedule() {
+        let lc = ia_at(0.6);
+        let schedule = vec![(Band::G, 95.0), (Band::R, 100.0), (Band::I, 105.0)];
+        let pts = lc.sample(&schedule);
+        assert_eq!(pts.len(), 3);
+        assert_eq!(pts[1].band, Band::R);
+        assert_eq!(pts[1].mjd, 100.0);
+        assert!((pts[1].mag - lc.mag(Band::R, 100.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn long_before_explosion_is_undetectable() {
+        let lc = ia_at(0.5);
+        let early = lc.mag(Band::R, 100.0 - 120.0);
+        assert!(early > 30.0, "pre-explosion mag {early} should be far below detection");
+    }
+
+    #[test]
+    fn grey_offset_shifts_all_bands_equally() {
+        let base = ia_at(0.5);
+        let off = LightCurve::new(SnParams {
+            mag_offset: 0.5,
+            ..*base.params()
+        });
+        for band in Band::ALL {
+            let d = off.peak_mag(band) - base.peak_mag(band);
+            assert!((d - 0.5).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,257 @@
+//! Continuous light-curve fitting with a self-contained Nelder–Mead
+//! optimizer.
+//!
+//! The grid fitter in `snia-baselines` is fast but coarse; this module
+//! provides the SALT-style continuous fit — given multi-band photometry,
+//! find the `(peak_mjd, stretch, grey offset)` of a type's template that
+//! minimises the chi-square. Downstream uses: sharper Lochner-style
+//! features and the classic "standardise the candle" analysis.
+
+use crate::band::Band;
+use crate::curve::LightCurve;
+use crate::priors::SnParams;
+use crate::sntype::SnType;
+
+/// One photometric measurement for the fitter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitPoint {
+    /// Band of the measurement.
+    pub band: Band,
+    /// Observation MJD.
+    pub mjd: f64,
+    /// Measured magnitude.
+    pub mag: f64,
+    /// Magnitude uncertainty (1σ).
+    pub sigma: f64,
+}
+
+/// Result of a continuous template fit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ContinuousFit {
+    /// Best-fit peak MJD.
+    pub peak_mjd: f64,
+    /// Best-fit stretch.
+    pub stretch: f64,
+    /// Best-fit grey magnitude offset.
+    pub offset: f64,
+    /// Chi-square at the optimum.
+    pub chi2: f64,
+    /// Number of Nelder–Mead iterations used.
+    pub iterations: usize,
+}
+
+/// Faint-side clamp, matching the detection limit used elsewhere.
+const MAG_CLAMP: f64 = 30.0;
+
+fn chi2_of(points: &[FitPoint], sn_type: SnType, z: f64, theta: &[f64; 3]) -> f64 {
+    let [peak_mjd, stretch, offset] = *theta;
+    if !(0.3..=2.5).contains(&stretch) {
+        return 1e12; // outside the template's validity — reject softly
+    }
+    let lc = LightCurve::new(SnParams {
+        sn_type,
+        redshift: z,
+        stretch,
+        color: 0.0,
+        peak_mjd,
+        mag_offset: 0.0,
+    });
+    points
+        .iter()
+        .map(|p| {
+            let model = (lc.mag(p.band, p.mjd) + offset).min(MAG_CLAMP);
+            let r = (p.mag.min(MAG_CLAMP) - model) / p.sigma;
+            r * r
+        })
+        .sum()
+}
+
+/// Fits `(peak_mjd, stretch, offset)` of a type's template to photometry
+/// by Nelder–Mead, starting from the brightest observation.
+///
+/// # Panics
+///
+/// Panics if `points` is empty, any `sigma <= 0`, or `z <= 0`.
+pub fn fit_continuous(points: &[FitPoint], sn_type: SnType, z: f64) -> ContinuousFit {
+    assert!(!points.is_empty(), "no points to fit");
+    assert!(z > 0.0, "invalid redshift {z}");
+    assert!(points.iter().all(|p| p.sigma > 0.0), "non-positive sigma");
+
+    // Initial guess: the peak is near the brightest point.
+    let brightest = points
+        .iter()
+        .min_by(|a, b| a.mag.partial_cmp(&b.mag).expect("finite mags"))
+        .expect("non-empty");
+    let x0 = [brightest.mjd, 1.0, 0.0];
+    let f = |theta: &[f64; 3]| chi2_of(points, sn_type, z, theta);
+    let (theta, chi2, iterations) = nelder_mead(f, x0, [8.0, 0.2, 0.5], 200, 1e-6);
+    ContinuousFit {
+        peak_mjd: theta[0],
+        stretch: theta[1],
+        offset: theta[2],
+        chi2,
+        iterations,
+    }
+}
+
+/// A minimal Nelder–Mead simplex minimiser over `f64; 3`.
+///
+/// Returns `(argmin, min, iterations)`. `steps` sets the initial simplex
+/// edge lengths per dimension.
+pub fn nelder_mead(
+    f: impl Fn(&[f64; 3]) -> f64,
+    x0: [f64; 3],
+    steps: [f64; 3],
+    max_iter: usize,
+    tol: f64,
+) -> ([f64; 3], f64, usize) {
+    const ALPHA: f64 = 1.0; // reflection
+    const GAMMA: f64 = 2.0; // expansion
+    const RHO: f64 = 0.5; // contraction
+    const SIGMA: f64 = 0.5; // shrink
+
+    // Initial simplex: x0 plus one step along each axis.
+    let mut simplex: Vec<([f64; 3], f64)> = Vec::with_capacity(4);
+    simplex.push((x0, f(&x0)));
+    for d in 0..3 {
+        let mut x = x0;
+        x[d] += steps[d];
+        simplex.push((x, f(&x)));
+    }
+
+    let mut iterations = 0;
+    for it in 0..max_iter {
+        iterations = it + 1;
+        simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
+        let best = simplex[0].1;
+        let worst = simplex[3].1;
+        if (worst - best).abs() < tol * (1.0 + best.abs()) {
+            break;
+        }
+        // Centroid of all but the worst.
+        let mut centroid = [0.0; 3];
+        for (x, _) in &simplex[..3] {
+            for d in 0..3 {
+                centroid[d] += x[d] / 3.0;
+            }
+        }
+        let xw = simplex[3].0;
+        let reflect = std::array::from_fn(|d| centroid[d] + ALPHA * (centroid[d] - xw[d]));
+        let fr = f(&reflect);
+        if fr < simplex[0].1 {
+            // Try expanding further.
+            let expand = std::array::from_fn(|d| centroid[d] + GAMMA * (reflect[d] - centroid[d]));
+            let fe = f(&expand);
+            simplex[3] = if fe < fr { (expand, fe) } else { (reflect, fr) };
+        } else if fr < simplex[2].1 {
+            simplex[3] = (reflect, fr);
+        } else {
+            // Contract toward the better of worst/reflected.
+            let (toward, f_toward) = if fr < simplex[3].1 {
+                (reflect, fr)
+            } else {
+                (xw, simplex[3].1)
+            };
+            let contract = std::array::from_fn(|d| centroid[d] + RHO * (toward[d] - centroid[d]));
+            let fc = f(&contract);
+            if fc < f_toward {
+                simplex[3] = (contract, fc);
+            } else {
+                // Shrink everything toward the best vertex.
+                let xb = simplex[0].0;
+                for v in simplex.iter_mut().skip(1) {
+                    let x = std::array::from_fn(|d| xb[d] + SIGMA * (v.0[d] - xb[d]));
+                    *v = (x, f(&x));
+                }
+            }
+        }
+    }
+    simplex.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("finite objective"));
+    (simplex[0].0, simplex[0].1, iterations)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nelder_mead_minimises_quadratic_bowl() {
+        let f = |x: &[f64; 3]| {
+            (x[0] - 1.0).powi(2) + 2.0 * (x[1] + 2.0).powi(2) + 0.5 * (x[2] - 3.0).powi(2)
+        };
+        let (x, v, iters) = nelder_mead(f, [0.0, 0.0, 0.0], [1.0, 1.0, 1.0], 500, 1e-12);
+        assert!(v < 1e-6, "min {v}");
+        assert!((x[0] - 1.0).abs() < 1e-2);
+        assert!((x[1] + 2.0).abs() < 1e-2);
+        assert!((x[2] - 3.0).abs() < 1e-2);
+        assert!(iters > 3);
+    }
+
+    fn synthetic_points(sn_type: SnType, z: f64, peak: f64, stretch: f64) -> Vec<FitPoint> {
+        let lc = LightCurve::new(SnParams {
+            sn_type,
+            redshift: z,
+            stretch,
+            color: 0.0,
+            peak_mjd: peak,
+            mag_offset: 0.0,
+        });
+        let mut pts = Vec::new();
+        for (i, band) in Band::ALL.iter().enumerate() {
+            for k in 0..4 {
+                let mjd = peak - 8.0 + (k * 11) as f64 + i as f64 * 0.7;
+                pts.push(FitPoint {
+                    band: *band,
+                    mjd,
+                    mag: lc.mag(*band, mjd).min(30.0),
+                    sigma: 0.1,
+                });
+            }
+        }
+        pts
+    }
+
+    #[test]
+    fn recovers_peak_and_stretch_continuously() {
+        let pts = synthetic_points(SnType::Ia, 0.5, 59_031.7, 1.12);
+        let fit = fit_continuous(&pts, SnType::Ia, 0.5);
+        assert!(fit.chi2 < 1.0, "chi2 {}", fit.chi2);
+        assert!((fit.peak_mjd - 59_031.7).abs() < 1.0, "peak {}", fit.peak_mjd);
+        assert!((fit.stretch - 1.12).abs() < 0.05, "stretch {}", fit.stretch);
+        assert!(fit.offset.abs() < 0.05, "offset {}", fit.offset);
+    }
+
+    #[test]
+    fn continuous_beats_grid_resolution() {
+        // The baselines' grid steps are 3 d / 0.2 stretch; the continuous
+        // fit should land much closer than half a grid step.
+        let pts = synthetic_points(SnType::Ia, 0.4, 59_025.4, 0.93);
+        let fit = fit_continuous(&pts, SnType::Ia, 0.4);
+        assert!((fit.peak_mjd - 59_025.4).abs() < 1.5);
+        assert!((fit.stretch - 0.93).abs() < 0.1);
+    }
+
+    #[test]
+    fn wrong_type_fits_worse_continuously() {
+        let pts = synthetic_points(SnType::Ia, 0.5, 59_030.0, 1.0);
+        let ia = fit_continuous(&pts, SnType::Ia, 0.5);
+        let iip = fit_continuous(&pts, SnType::IIP, 0.5);
+        assert!(iip.chi2 > ia.chi2 * 3.0 + 10.0, "IIP {} vs Ia {}", iip.chi2, ia.chi2);
+    }
+
+    #[test]
+    fn grey_offset_recovered() {
+        let mut pts = synthetic_points(SnType::Ia, 0.5, 59_030.0, 1.0);
+        for p in &mut pts {
+            p.mag = (p.mag + 0.42).min(30.0);
+        }
+        let fit = fit_continuous(&pts, SnType::Ia, 0.5);
+        assert!((fit.offset - 0.42).abs() < 0.1, "offset {}", fit.offset);
+    }
+
+    #[test]
+    #[should_panic(expected = "no points")]
+    fn empty_points_panics() {
+        fit_continuous(&[], SnType::Ia, 0.5);
+    }
+}

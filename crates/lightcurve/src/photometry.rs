@@ -1,0 +1,71 @@
+//! Flux ↔ magnitude conversions.
+//!
+//! The paper's convention (Section 4): `mag = −2.5·log10(flux) + 27.0`,
+//! with flux in detector counts. Small magnitudes mean bright objects.
+
+/// The paper's photometric zero point.
+pub const ZERO_POINT: f64 = 27.0;
+
+/// Converts a flux (counts) to a stellar magnitude.
+///
+/// Non-positive fluxes have no magnitude; this returns `f64::INFINITY`
+/// for them (an infinitely faint object), which callers treat as
+/// "undetected".
+///
+/// # Examples
+///
+/// ```
+/// use snia_lightcurve::{flux_to_mag, mag_to_flux};
+/// let mag = flux_to_mag(100.0);
+/// assert!((mag - 22.0).abs() < 1e-12);
+/// assert!((mag_to_flux(mag) - 100.0).abs() < 1e-9);
+/// ```
+pub fn flux_to_mag(flux: f64) -> f64 {
+    if flux <= 0.0 {
+        f64::INFINITY
+    } else {
+        -2.5 * flux.log10() + ZERO_POINT
+    }
+}
+
+/// Converts a stellar magnitude to a flux (counts).
+pub fn mag_to_flux(mag: f64) -> f64 {
+    10f64.powf((ZERO_POINT - mag) / 2.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_point_flux_is_one() {
+        assert!((mag_to_flux(27.0) - 1.0).abs() < 1e-12);
+        assert!((flux_to_mag(1.0) - 27.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn five_mags_are_factor_hundred() {
+        let f1 = mag_to_flux(20.0);
+        let f2 = mag_to_flux(25.0);
+        assert!((f1 / f2 - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn round_trip_over_dynamic_range() {
+        for mag in [15.0, 18.0, 21.0, 24.0, 27.0, 30.0] {
+            let back = flux_to_mag(mag_to_flux(mag));
+            assert!((back - mag).abs() < 1e-10, "{mag} -> {back}");
+        }
+    }
+
+    #[test]
+    fn brighter_means_smaller_magnitude() {
+        assert!(flux_to_mag(1000.0) < flux_to_mag(10.0));
+    }
+
+    #[test]
+    fn nonpositive_flux_is_infinitely_faint() {
+        assert!(flux_to_mag(0.0).is_infinite());
+        assert!(flux_to_mag(-5.0).is_infinite());
+    }
+}

@@ -1,0 +1,182 @@
+//! Parameter priors for synthetic supernovae.
+//!
+//! The paper draws (type, stretch, colour) from "already known
+//! distributions" (Mosher et al. 2014); this module encodes analytic
+//! approximations of those: a tight stretch/colour population for Type Ia
+//! (the standard-candle homogeneity the classifier exploits) and broader
+//! intrinsic scatter for the core-collapse contaminants.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::sntype::SnType;
+
+/// The generative parameters of one synthetic supernova.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SnParams {
+    /// Supernova type.
+    pub sn_type: SnType,
+    /// Host (and SN) redshift.
+    pub redshift: f64,
+    /// Light-curve time-axis stretch (1.0 = fiducial).
+    pub stretch: f64,
+    /// Colour parameter; positive = redder/extinguished (Ia colour law).
+    pub color: f64,
+    /// Modified Julian Date of peak brightness.
+    pub peak_mjd: f64,
+    /// Grey per-object magnitude offset (intrinsic scatter).
+    pub mag_offset: f64,
+}
+
+/// Box–Muller standard normal (kept local so the crate only needs `rand`).
+fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a contaminant type according to the magnitude-limited
+/// core-collapse mix of [`SnType::contaminant_weight`].
+pub fn sample_non_ia_type<R: Rng + ?Sized>(rng: &mut R) -> SnType {
+    let x: f64 = rng.gen();
+    let mut acc = 0.0;
+    for t in SnType::NON_IA {
+        acc += t.contaminant_weight();
+        if x < acc {
+            return t;
+        }
+    }
+    SnType::IIP
+}
+
+/// Samples the light-curve parameters for a supernova of the given type at
+/// the given redshift, with peak date uniform in `[peak_lo, peak_hi]` (MJD).
+///
+/// # Panics
+///
+/// Panics if `redshift <= 0` or the peak window is inverted.
+pub fn sample_params<R: Rng + ?Sized>(
+    rng: &mut R,
+    sn_type: SnType,
+    redshift: f64,
+    peak_lo: f64,
+    peak_hi: f64,
+) -> SnParams {
+    assert!(redshift > 0.0, "redshift must be positive, got {redshift}");
+    assert!(peak_lo <= peak_hi, "inverted peak window");
+    let (stretch, color, mag_offset) = match sn_type {
+        SnType::Ia => {
+            // Tight standard-candle population (SALT-II x1/c translated to
+            // stretch/colour; intrinsic grey scatter ~0.12 mag).
+            let s = (1.0 + 0.1 * randn(rng)).clamp(0.7, 1.3);
+            let c = (0.0 + 0.1 * randn(rng)).clamp(-0.3, 0.4);
+            let off = 0.12 * randn(rng);
+            (s, c, off)
+        }
+        SnType::Ib | SnType::Ic => {
+            let s = (1.0 + 0.25 * randn(rng)).clamp(0.5, 1.8);
+            let c = (0.05 + 0.12 * randn(rng)).clamp(-0.3, 0.6);
+            let off = 0.9 * randn(rng);
+            (s, c, off)
+        }
+        SnType::IIL | SnType::IIP => {
+            let s = (1.0 + 0.25 * randn(rng)).clamp(0.5, 1.8);
+            let c = (0.05 + 0.12 * randn(rng)).clamp(-0.3, 0.6);
+            let off = 0.8 * randn(rng);
+            (s, c, off)
+        }
+        SnType::IIN => {
+            let s = (1.0 + 0.3 * randn(rng)).clamp(0.5, 2.0);
+            let c = (0.05 + 0.15 * randn(rng)).clamp(-0.3, 0.6);
+            let off = 1.0 * randn(rng);
+            (s, c, off)
+        }
+    };
+    SnParams {
+        sn_type,
+        redshift,
+        stretch,
+        color,
+        peak_mjd: rng.gen_range(peak_lo..=peak_hi),
+        mag_offset,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn ia_population_is_tight() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let offs: Vec<f64> = (0..5000)
+            .map(|_| sample_params(&mut rng, SnType::Ia, 0.5, 0.0, 10.0).mag_offset)
+            .collect();
+        let mean = offs.iter().sum::<f64>() / offs.len() as f64;
+        let std = (offs.iter().map(|o| (o - mean).powi(2)).sum::<f64>() / offs.len() as f64).sqrt();
+        assert!(std < 0.15, "Ia scatter {std} too large");
+    }
+
+    #[test]
+    fn contaminants_scatter_more_than_ia() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let std_of = |t: SnType, rng: &mut StdRng| {
+            let offs: Vec<f64> = (0..3000)
+                .map(|_| sample_params(rng, t, 0.5, 0.0, 10.0).mag_offset)
+                .collect();
+            let mean = offs.iter().sum::<f64>() / offs.len() as f64;
+            (offs.iter().map(|o| (o - mean).powi(2)).sum::<f64>() / offs.len() as f64).sqrt()
+        };
+        let ia = std_of(SnType::Ia, &mut rng);
+        for t in SnType::NON_IA {
+            assert!(std_of(t, &mut rng) > 2.0 * ia, "{t} not scattered enough");
+        }
+    }
+
+    #[test]
+    fn stretch_and_color_within_clamps() {
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..2000 {
+            let p = sample_params(&mut rng, SnType::Ia, 1.0, 100.0, 200.0);
+            assert!((0.7..=1.3).contains(&p.stretch));
+            assert!((-0.3..=0.4).contains(&p.color));
+            assert!((100.0..=200.0).contains(&p.peak_mjd));
+        }
+    }
+
+    #[test]
+    fn non_ia_mix_matches_weights() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let n = 20_000;
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..n {
+            *counts.entry(sample_non_ia_type(&mut rng)).or_insert(0usize) += 1;
+        }
+        for t in SnType::NON_IA {
+            let frac = counts[&t] as f64 / n as f64;
+            assert!(
+                (frac - t.contaminant_weight()).abs() < 0.02,
+                "{t}: {frac} vs {}",
+                t.contaminant_weight()
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(9);
+        let mut b = StdRng::seed_from_u64(9);
+        let pa = sample_params(&mut a, SnType::IIP, 0.8, 0.0, 50.0);
+        let pb = sample_params(&mut b, SnType::IIP, 0.8, 0.0, 50.0);
+        assert_eq!(pa, pb);
+    }
+
+    #[test]
+    #[should_panic(expected = "redshift must be positive")]
+    fn zero_redshift_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        sample_params(&mut rng, SnType::Ia, 0.0, 0.0, 1.0);
+    }
+}

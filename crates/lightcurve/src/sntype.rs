@@ -1,0 +1,108 @@
+//! Supernova taxonomy.
+
+use serde::{Deserialize, Serialize};
+
+/// The supernova types in the paper's dataset: Type Ia plus the five
+/// contaminant classes (Ib, Ic, IIL, IIN, IIP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SnType {
+    /// Thermonuclear white-dwarf supernova — the cosmological standard
+    /// candle the classifier must select.
+    Ia,
+    /// Stripped-envelope core-collapse (helium-rich).
+    Ib,
+    /// Stripped-envelope core-collapse (helium-poor).
+    Ic,
+    /// Type II with a linear magnitude decline.
+    IIL,
+    /// Type II with narrow emission lines (interaction-powered).
+    IIN,
+    /// Type II with an extended plateau.
+    IIP,
+}
+
+impl SnType {
+    /// All six types.
+    pub const ALL: [SnType; 6] = [
+        SnType::Ia,
+        SnType::Ib,
+        SnType::Ic,
+        SnType::IIL,
+        SnType::IIN,
+        SnType::IIP,
+    ];
+
+    /// The non-Ia (contaminant) types.
+    pub const NON_IA: [SnType; 5] = [
+        SnType::Ib,
+        SnType::Ic,
+        SnType::IIL,
+        SnType::IIN,
+        SnType::IIP,
+    ];
+
+    /// Whether this is a Type Ia supernova (the positive class).
+    pub fn is_ia(self) -> bool {
+        self == SnType::Ia
+    }
+
+    /// Short display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            SnType::Ia => "Ia",
+            SnType::Ib => "Ib",
+            SnType::Ic => "Ic",
+            SnType::IIL => "IIL",
+            SnType::IIN => "IIN",
+            SnType::IIP => "IIP",
+        }
+    }
+
+    /// Relative occurrence rate among the *non-Ia* contaminant population,
+    /// approximating magnitude-limited core-collapse fractions (Li et al.
+    /// 2011): IIP dominates, Ib/Ic and IIL contribute, IIN is rare.
+    pub fn contaminant_weight(self) -> f64 {
+        match self {
+            SnType::Ia => 0.0,
+            SnType::Ib => 0.15,
+            SnType::Ic => 0.20,
+            SnType::IIL => 0.15,
+            SnType::IIN => 0.10,
+            SnType::IIP => 0.40,
+        }
+    }
+}
+
+impl std::fmt::Display for SnType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn only_ia_is_ia() {
+        assert!(SnType::Ia.is_ia());
+        for t in SnType::NON_IA {
+            assert!(!t.is_ia());
+        }
+    }
+
+    #[test]
+    fn contaminant_weights_sum_to_one() {
+        let total: f64 = SnType::NON_IA.iter().map(|t| t.contaminant_weight()).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: Vec<&str> = SnType::ALL.iter().map(|t| t.label()).collect();
+        let mut dedup = labels.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), labels.len());
+    }
+}

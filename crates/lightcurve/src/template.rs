@@ -1,0 +1,249 @@
+//! Analytic rest-frame light-curve templates per supernova type.
+//!
+//! Each template is expressed in the magnitude domain as
+//!
+//! ```text
+//! M(λ, t) = peak_abs_mag(type, λ) + delta_mag(type, stretch, λ, t)
+//! ```
+//!
+//! where `t` is the rest-frame phase in days relative to peak brightness
+//! and `λ` the rest-frame effective wavelength in nanometres. `delta_mag`
+//! is zero at peak and positive (fainter) elsewhere, except for the small
+//! negative excursion of the Type Ia secondary maximum in the red bands.
+//!
+//! The shapes are calibrated to the standard observational facts the
+//! classifier relies on: Phillips-relation decline rates for Ia
+//! (`Δm15 ≈ 1.1` in blue, shallower in red, scaled by stretch), ~18-day
+//! Ia rise times, fast-rising dimmer stripped-envelope events, the ~80-day
+//! IIP plateau, linearly declining IIL and slowly declining IIN.
+
+use crate::sntype::SnType;
+
+/// Wavelength anchors (nm) for the per-type peak-magnitude tables.
+const ANCHOR_NM: [f64; 5] = [480.0, 620.0, 770.0, 890.0, 1000.0];
+
+/// Peak absolute magnitude at each anchor wavelength, per type.
+///
+/// Ia values follow the standard-candle anchor `M_B ≈ −19.3` with the
+/// usual mild reddening of the peak toward long wavelengths; core-collapse
+/// values follow Richardson et al. (2014) mean peak magnitudes.
+fn peak_table(sn: SnType) -> [f64; 5] {
+    match sn {
+        SnType::Ia => [-19.30, -19.25, -18.95, -18.85, -18.75],
+        SnType::Ib => [-17.40, -17.55, -17.50, -17.45, -17.40],
+        SnType::Ic => [-17.60, -17.70, -17.65, -17.60, -17.55],
+        SnType::IIL => [-17.40, -17.45, -17.40, -17.35, -17.30],
+        SnType::IIN => [-18.60, -18.60, -18.55, -18.50, -18.45],
+        SnType::IIP => [-16.70, -16.80, -16.85, -16.85, -16.80],
+    }
+}
+
+/// Piecewise-linear interpolation over the anchor table, clamped at the
+/// ends. This doubles as the K-correction approximation: an observed band
+/// at redshift `z` samples the template at `λ_obs / (1+z)`.
+pub fn peak_abs_mag(sn: SnType, wavelength_nm: f64) -> f64 {
+    let table = peak_table(sn);
+    let w = wavelength_nm.clamp(ANCHOR_NM[0], ANCHOR_NM[4]);
+    for i in 0..4 {
+        if w <= ANCHOR_NM[i + 1] {
+            let f = (w - ANCHOR_NM[i]) / (ANCHOR_NM[i + 1] - ANCHOR_NM[i]);
+            return table[i] + f * (table[i + 1] - table[i]);
+        }
+    }
+    table[4]
+}
+
+/// Magnitude offset from peak at rest-frame phase `t` (days; negative
+/// before peak). Zero at `t = 0`.
+///
+/// `stretch` scales the time axis (1.0 = fiducial); for Type Ia it also
+/// drives the Phillips relation through the stretched decline.
+///
+/// # Panics
+///
+/// Panics if `stretch` is not positive.
+pub fn delta_mag(sn: SnType, stretch: f64, wavelength_nm: f64, t: f64) -> f64 {
+    assert!(stretch > 0.0, "stretch must be positive, got {stretch}");
+    let s = stretch;
+    match sn {
+        SnType::Ia => ia_delta(s, wavelength_nm, t),
+        SnType::Ib => decline_exp_linear(t / s, 14.0, 0.75, 10.0, 0.016),
+        SnType::Ic => decline_exp_linear(t / s, 12.0, 0.85, 9.0, 0.018),
+        SnType::IIL => {
+            if t < 0.0 {
+                rise(t / s, 10.0)
+            } else {
+                0.05 * t / s
+            }
+        }
+        SnType::IIN => {
+            if t < 0.0 {
+                rise(t / s, 18.0)
+            } else {
+                0.02 * t / s
+            }
+        }
+        SnType::IIP => iip_delta(t / s),
+    }
+}
+
+/// Quadratic pre-peak rise: 4.5 magnitudes over `t_rise` days.
+fn rise(t: f64, t_rise: f64) -> f64 {
+    let x = t / t_rise;
+    4.5 * x * x
+}
+
+/// Post-peak decline `a1·(1 − e^{−t/τ}) + a2·t`, preceded by a quadratic
+/// rise of `t_rise` days. Covers the stripped-envelope (Ib/Ic) shapes.
+fn decline_exp_linear(t: f64, t_rise: f64, a1: f64, tau: f64, a2: f64) -> f64 {
+    if t < 0.0 {
+        rise(t, t_rise)
+    } else {
+        a1 * (1.0 - (-t / tau).exp()) + a2 * t
+    }
+}
+
+/// Type Ia: Phillips-calibrated decline with wavelength-dependent rate and
+/// a secondary-maximum bump in the red.
+fn ia_delta(s: f64, wavelength_nm: f64, t: f64) -> f64 {
+    if t < 0.0 {
+        return rise(t / s, 18.0);
+    }
+    let ts = t / s;
+    // Δm15 target: ~1.1 in blue, shallower toward the red.
+    let red_factor = (1.30 - 0.0006 * wavelength_nm).clamp(0.55, 1.15);
+    let dm15 = 1.1 * red_factor;
+    // Split into a fast exponential component and a 0.015 mag/day tail.
+    let tau = 12.0;
+    let tail = 0.015;
+    let a1 = ((dm15 - tail * 15.0) / (1.0 - (-15.0f64 / tau).exp())).max(0.0);
+    let mut dm = a1 * (1.0 - (-ts / tau).exp()) + tail * ts;
+    // Secondary maximum at ~+22 d in i/z/y.
+    let bump_strength = 0.30 * ((wavelength_nm - 650.0) / 250.0).clamp(0.0, 1.0);
+    if bump_strength > 0.0 {
+        let x = (ts - 22.0) / 7.0;
+        dm -= bump_strength * (-x * x).exp();
+    }
+    dm.max(-0.05)
+}
+
+/// IIP: short plateau decline (~0.8 mag over 80 d) followed by the fall off
+/// the plateau, then the radioactive tail.
+fn iip_delta(t: f64) -> f64 {
+    if t < 0.0 {
+        rise(t, 7.0)
+    } else if t <= 80.0 {
+        0.01 * t
+    } else {
+        // Smooth 2.2-mag drop over ~10 days, then 0.01 mag/day tail.
+        0.8 + 2.2 * (1.0 - (-(t - 80.0) / 10.0).exp()) + 0.01 * (t - 80.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn peak_is_brightest_point() {
+        for sn in SnType::ALL {
+            for lambda in [480.0, 770.0, 1000.0] {
+                let at_peak = delta_mag(sn, 1.0, lambda, 0.0);
+                assert!(at_peak.abs() < 0.06, "{sn} Δm(0) = {at_peak}");
+                for t in [-15.0, -5.0, 5.0, 30.0, 90.0] {
+                    let dm = delta_mag(sn, 1.0, lambda, t);
+                    assert!(
+                        dm >= at_peak - 0.31,
+                        "{sn} at λ={lambda}, t={t}: Δm={dm} brighter than peak by too much"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ia_phillips_delta_m15_in_blue() {
+        let dm15 = delta_mag(SnType::Ia, 1.0, 480.0, 15.0);
+        assert!((dm15 - 1.1).abs() < 0.1, "Δm15 = {dm15}");
+    }
+
+    #[test]
+    fn ia_stretch_slows_decline() {
+        let fast = delta_mag(SnType::Ia, 0.8, 480.0, 15.0);
+        let slow = delta_mag(SnType::Ia, 1.2, 480.0, 15.0);
+        assert!(fast > slow, "low stretch should decline faster");
+    }
+
+    #[test]
+    fn ia_red_bands_decline_slower() {
+        let blue = delta_mag(SnType::Ia, 1.0, 480.0, 15.0);
+        let red = delta_mag(SnType::Ia, 1.0, 1000.0, 15.0);
+        assert!(red < blue);
+    }
+
+    #[test]
+    fn ia_secondary_maximum_exists_in_red_only() {
+        // In i/z/y the decline is non-monotonic around +22 d.
+        let before = delta_mag(SnType::Ia, 1.0, 900.0, 14.0);
+        let bump = delta_mag(SnType::Ia, 1.0, 900.0, 22.0);
+        let after = delta_mag(SnType::Ia, 1.0, 900.0, 35.0);
+        assert!(bump < before || bump < after, "no secondary max in z band");
+        // In g the decline is monotonic.
+        let g = [10.0, 14.0, 18.0, 22.0, 26.0, 30.0]
+            .map(|t| delta_mag(SnType::Ia, 1.0, 480.0, t));
+        assert!(g.windows(2).all(|w| w[0] <= w[1] + 1e-9));
+    }
+
+    #[test]
+    fn iip_has_a_plateau() {
+        // Magnitude change across the plateau is small...
+        let d20 = delta_mag(SnType::IIP, 1.0, 620.0, 20.0);
+        let d70 = delta_mag(SnType::IIP, 1.0, 620.0, 70.0);
+        assert!(d70 - d20 < 0.6, "plateau slope too steep");
+        // ...then the SN falls off the plateau.
+        let d110 = delta_mag(SnType::IIP, 1.0, 620.0, 110.0);
+        assert!(d110 - d70 > 1.5, "no drop after plateau");
+    }
+
+    #[test]
+    fn iil_declines_linearly() {
+        let d10 = delta_mag(SnType::IIL, 1.0, 620.0, 10.0);
+        let d20 = delta_mag(SnType::IIL, 1.0, 620.0, 20.0);
+        let d30 = delta_mag(SnType::IIL, 1.0, 620.0, 30.0);
+        assert!(((d20 - d10) - (d30 - d20)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rises_reach_several_magnitudes() {
+        for sn in SnType::ALL {
+            let dm = delta_mag(sn, 1.0, 620.0, -25.0);
+            assert!(dm > 2.0, "{sn} rise too shallow: {dm}");
+        }
+    }
+
+    #[test]
+    fn ia_is_the_brightest_class_in_blue() {
+        let ia = peak_abs_mag(SnType::Ia, 480.0);
+        for sn in SnType::NON_IA {
+            assert!(ia < peak_abs_mag(sn, 480.0), "{sn} brighter than Ia");
+        }
+    }
+
+    #[test]
+    fn peak_interpolation_matches_anchors_and_clamps() {
+        let t = peak_abs_mag(SnType::Ia, 480.0);
+        assert!((t - (-19.30)).abs() < 1e-12);
+        // Midpoint between g and r anchors.
+        let mid = peak_abs_mag(SnType::Ia, 550.0);
+        assert!(mid > -19.30 && mid < -19.25);
+        // Clamped outside the table.
+        assert_eq!(peak_abs_mag(SnType::Ia, 300.0), peak_abs_mag(SnType::Ia, 480.0));
+        assert_eq!(peak_abs_mag(SnType::Ia, 2000.0), peak_abs_mag(SnType::Ia, 1000.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "stretch must be positive")]
+    fn invalid_stretch_panics() {
+        delta_mag(SnType::Ia, 0.0, 480.0, 0.0);
+    }
+}

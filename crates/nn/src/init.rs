@@ -1,0 +1,132 @@
+//! Parameter initialisation and random-variate helpers.
+//!
+//! `rand` provides uniform sampling; the Gaussian variates needed for He /
+//! Xavier initialisation (and by the simulators elsewhere in the workspace)
+//! are generated with the Box–Muller transform so that no additional
+//! distribution crate is required.
+
+use rand::Rng;
+
+use crate::tensor::Tensor;
+
+/// Draws a standard-normal variate using the Box–Muller transform.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let x = snia_nn::init::randn(&mut rng);
+/// assert!(x.is_finite());
+/// ```
+pub fn randn<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+    // u1 in (0, 1] so that ln(u1) is finite.
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    let r = (-2.0 * u1.ln()).sqrt();
+    (r * (2.0 * std::f64::consts::PI * u2).cos()) as f32
+}
+
+/// Draws a normal variate with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f32, std: f32) -> f32 {
+    mean + std * randn(rng)
+}
+
+/// Tensor of i.i.d. `N(0, std²)` entries.
+pub fn randn_tensor<R: Rng + ?Sized>(rng: &mut R, shape: Vec<usize>, std: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| std * randn(rng)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// Tensor of i.i.d. `U(lo, hi)` entries.
+pub fn uniform_tensor<R: Rng + ?Sized>(rng: &mut R, shape: Vec<usize>, lo: f32, hi: f32) -> Tensor {
+    let n: usize = shape.iter().product();
+    let data = (0..n).map(|_| rng.gen_range(lo..hi)).collect();
+    Tensor::from_vec(shape, data)
+}
+
+/// He (Kaiming) normal initialisation: `N(0, sqrt(2 / fan_in)²)`.
+///
+/// Appropriate for layers followed by (P)ReLU nonlinearities, which is the
+/// case for every convolution and hidden linear layer in the paper's models.
+pub fn he_normal<R: Rng + ?Sized>(rng: &mut R, shape: Vec<usize>, fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    randn_tensor(rng, shape, std)
+}
+
+/// Xavier (Glorot) uniform initialisation:
+/// `U(-sqrt(6/(fan_in+fan_out)), +sqrt(6/(fan_in+fan_out)))`.
+pub fn xavier_uniform<R: Rng + ?Sized>(
+    rng: &mut R,
+    shape: Vec<usize>,
+    fan_in: usize,
+    fan_out: usize,
+) -> Tensor {
+    let limit = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    uniform_tensor(rng, shape, -limit, limit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn randn_moments_are_standard_normal() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 200_000;
+        let samples: Vec<f32> = (0..n).map(|_| randn(&mut rng)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.01, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.02, "var {var}");
+    }
+
+    #[test]
+    fn normal_respects_mean_and_std() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 100_000;
+        let samples: Vec<f32> = (0..n).map(|_| normal(&mut rng, 5.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f32>() / n as f32;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!((mean - 5.0).abs() < 0.05, "mean {mean}");
+        assert!((var.sqrt() - 2.0).abs() < 0.05, "std {}", var.sqrt());
+    }
+
+    #[test]
+    fn he_normal_scales_with_fan_in() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = he_normal(&mut rng, vec![100, 100], 100);
+        let std = (t.data().iter().map(|x| x * x).sum::<f32>() / t.len() as f32).sqrt();
+        let expected = (2.0f32 / 100.0).sqrt();
+        assert!((std - expected).abs() < 0.02 * expected.max(0.1), "std {std} vs {expected}");
+    }
+
+    #[test]
+    fn xavier_uniform_within_limits() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let t = xavier_uniform(&mut rng, vec![50, 50], 50, 50);
+        let limit = (6.0f32 / 100.0).sqrt();
+        assert!(t.max() <= limit && t.min() >= -limit);
+        // Should actually use the range, not collapse to zero.
+        assert!(t.max() > 0.5 * limit);
+    }
+
+    #[test]
+    fn uniform_tensor_range() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let t = uniform_tensor(&mut rng, vec![1000], -2.0, 3.0);
+        assert!(t.min() >= -2.0 && t.max() < 3.0);
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        let ta = randn_tensor(&mut a, vec![16], 1.0);
+        let tb = randn_tensor(&mut b, vec![16], 1.0);
+        assert_eq!(ta, tb);
+    }
+}

@@ -1,0 +1,310 @@
+//! Batch normalisation (Ioffe & Szegedy 2015), used after every convolution
+//! in the paper's band-wise CNN.
+
+use crate::layer::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+
+/// Batch normalisation over the channel axis.
+///
+/// Accepts either 4-D inputs `(N, C, H, W)` (statistics per channel over
+/// `N·H·W`) or 2-D inputs `(N, F)` (statistics per feature over `N`). In
+/// [`Mode::Train`] batch statistics are used and running statistics are
+/// updated with exponential momentum; in [`Mode::Eval`] the running
+/// statistics are used.
+///
+/// [`BatchNorm2d`] and [`BatchNorm1d`] are aliases for this type, named for
+/// the input ranks they are conventionally applied to.
+#[derive(Debug)]
+pub struct BatchNorm {
+    gamma: Param,
+    beta: Param,
+    running_mean: Vec<f32>,
+    running_var: Vec<f32>,
+    channels: usize,
+    eps: f32,
+    momentum: f32,
+    cache: Option<BnCache>,
+}
+
+/// Alias of [`BatchNorm`] for `(N, C, H, W)` inputs.
+pub type BatchNorm2d = BatchNorm;
+/// Alias of [`BatchNorm`] for `(N, F)` inputs.
+pub type BatchNorm1d = BatchNorm;
+
+#[derive(Debug)]
+struct BnCache {
+    input_shape: Vec<usize>,
+    /// Normalised activations, flattened as (N, C, L).
+    xhat: Vec<f32>,
+    inv_std: Vec<f32>,
+}
+
+impl BatchNorm {
+    /// Creates a batch-norm layer for `channels` channels with
+    /// `eps = 1e-5`, `momentum = 0.1`, `γ = 1`, `β = 0`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0`.
+    pub fn new(channels: usize) -> Self {
+        assert!(channels > 0, "channel count must be positive");
+        BatchNorm {
+            gamma: Param::new("gamma", Tensor::ones(vec![channels])),
+            beta: Param::new("beta", Tensor::zeros(vec![channels])),
+            running_mean: vec![0.0; channels],
+            running_var: vec![1.0; channels],
+            channels,
+            eps: 1e-5,
+            momentum: 0.1,
+            cache: None,
+        }
+    }
+
+    /// The running (inference-time) mean per channel.
+    pub fn running_mean(&self) -> &[f32] {
+        &self.running_mean
+    }
+
+    /// The running (inference-time) variance per channel.
+    pub fn running_var(&self) -> &[f32] {
+        &self.running_var
+    }
+
+    /// Interprets the input as `(n, channels, l)`.
+    fn dims(&self, shape: &[usize]) -> (usize, usize) {
+        match shape.len() {
+            4 => {
+                assert_eq!(shape[1], self.channels, "BatchNorm channel mismatch");
+                (shape[0], shape[2] * shape[3])
+            }
+            2 => {
+                assert_eq!(shape[1], self.channels, "BatchNorm feature mismatch");
+                (shape[0], 1)
+            }
+            _ => panic!("BatchNorm expects 2-D or 4-D input, got {shape:?}"),
+        }
+    }
+}
+
+impl Layer for BatchNorm {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (n, l) = self.dims(input.shape());
+        let c = self.channels;
+        let m = (n * l) as f32;
+        let data = input.data();
+        let mut out = Tensor::zeros(input.shape().to_vec());
+
+        let (mean, var) = if mode == Mode::Train {
+            assert!(n * l > 1, "BatchNorm training requires more than one value per channel");
+            let mut mean = vec![0.0f32; c];
+            let mut var = vec![0.0f32; c];
+            for ni in 0..n {
+                for ci in 0..c {
+                    let off = (ni * c + ci) * l;
+                    mean[ci] += data[off..off + l].iter().sum::<f32>();
+                }
+            }
+            for v in &mut mean {
+                *v /= m;
+            }
+            for ni in 0..n {
+                for ci in 0..c {
+                    let off = (ni * c + ci) * l;
+                    var[ci] += data[off..off + l].iter().map(|x| (x - mean[ci]).powi(2)).sum::<f32>();
+                }
+            }
+            for v in &mut var {
+                *v /= m;
+            }
+            for ci in 0..c {
+                self.running_mean[ci] =
+                    (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
+                // Unbiased variance for the running estimate, as in PyTorch.
+                let unbiased = if m > 1.0 { var[ci] * m / (m - 1.0) } else { var[ci] };
+                self.running_var[ci] =
+                    (1.0 - self.momentum) * self.running_var[ci] + self.momentum * unbiased;
+            }
+            (mean, var)
+        } else {
+            (self.running_mean.clone(), self.running_var.clone())
+        };
+
+        let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let gamma = self.gamma.value.data();
+        let beta = self.beta.value.data();
+        let mut xhat = if mode == Mode::Train {
+            vec![0.0f32; data.len()]
+        } else {
+            Vec::new()
+        };
+        {
+            let out_data = out.data_mut();
+            for ni in 0..n {
+                for ci in 0..c {
+                    let off = (ni * c + ci) * l;
+                    let (mu, is, g, b) = (mean[ci], inv_std[ci], gamma[ci], beta[ci]);
+                    for j in off..off + l {
+                        let xh = (data[j] - mu) * is;
+                        if mode == Mode::Train {
+                            xhat[j] = xh;
+                        }
+                        out_data[j] = g * xh + b;
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(BnCache {
+                input_shape: input.shape().to_vec(),
+                xhat,
+                inv_std,
+            });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("BatchNorm::backward called without a training forward pass");
+        let (n, l) = self.dims(&cache.input_shape);
+        let c = self.channels;
+        let m = (n * l) as f32;
+        let go = grad_output.data();
+        let gamma = self.gamma.value.data().to_vec();
+
+        // Per-channel sums: Σ dy and Σ dy·x̂.
+        let mut sum_dy = vec![0.0f32; c];
+        let mut sum_dy_xhat = vec![0.0f32; c];
+        for ni in 0..n {
+            for ci in 0..c {
+                let off = (ni * c + ci) * l;
+                for j in off..off + l {
+                    sum_dy[ci] += go[j];
+                    sum_dy_xhat[ci] += go[j] * cache.xhat[j];
+                }
+            }
+        }
+        for ci in 0..c {
+            self.beta.grad.data_mut()[ci] += sum_dy[ci];
+            self.gamma.grad.data_mut()[ci] += sum_dy_xhat[ci];
+        }
+
+        // dx = γ·inv_std · (dy − Σdy/m − x̂·Σ(dy·x̂)/m)
+        let mut grad_input = Tensor::zeros(cache.input_shape.clone());
+        let gi = grad_input.data_mut();
+        for ni in 0..n {
+            for ci in 0..c {
+                let off = (ni * c + ci) * l;
+                let scale = gamma[ci] * cache.inv_std[ci];
+                let mean_dy = sum_dy[ci] / m;
+                let mean_dy_xhat = sum_dy_xhat[ci] / m;
+                for j in off..off + l {
+                    gi[j] = scale * (go[j] - mean_dy - cache.xhat[j] * mean_dy_xhat);
+                }
+            }
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.gamma, &self.beta]
+    }
+
+    fn name(&self) -> &'static str {
+        "BatchNorm"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn train_output_is_normalised() {
+        let mut bn = BatchNorm::new(2);
+        let mut rng = StdRng::seed_from_u64(40);
+        let x = init::randn_tensor(&mut rng, vec![8, 2, 3, 3], 3.0).map(|v| v + 5.0);
+        let y = bn.forward(&x, Mode::Train);
+        // Per channel: mean ≈ 0, var ≈ 1.
+        for ci in 0..2 {
+            let mut vals = Vec::new();
+            for ni in 0..8 {
+                for hy in 0..3 {
+                    for wx in 0..3 {
+                        vals.push(y.at(&[ni, ci, hy, wx]));
+                    }
+                }
+            }
+            let mean = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "var {var}");
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_statistics() {
+        let mut bn = BatchNorm::new(1);
+        let mut rng = StdRng::seed_from_u64(41);
+        // Drive the running stats toward the data distribution.
+        for _ in 0..200 {
+            let x = init::randn_tensor(&mut rng, vec![16, 1, 2, 2], 2.0).map(|v| v + 3.0);
+            bn.forward(&x, Mode::Train);
+        }
+        assert!((bn.running_mean()[0] - 3.0).abs() < 0.2);
+        assert!((bn.running_var()[0] - 4.0).abs() < 0.4);
+        // Eval on a fresh batch should normalise with those stats.
+        let x = init::randn_tensor(&mut rng, vec![64, 1, 2, 2], 2.0).map(|v| v + 3.0);
+        let y = bn.forward(&x, Mode::Eval);
+        assert!(y.mean().abs() < 0.2);
+    }
+
+    #[test]
+    fn two_d_input_per_feature() {
+        let mut bn = BatchNorm::new(3);
+        let mut rng = StdRng::seed_from_u64(42);
+        let x = init::randn_tensor(&mut rng, vec![32, 3], 2.0);
+        let y = bn.forward(&x, Mode::Train);
+        assert_eq!(y.shape(), &[32, 3]);
+        let col_mean = y.sum_rows().map(|v| v / 32.0);
+        assert!(col_mean.data().iter().all(|v| v.abs() < 1e-4));
+    }
+
+    #[test]
+    fn gradcheck_4d() {
+        let mut rng = StdRng::seed_from_u64(43);
+        let x = init::randn_tensor(&mut rng, vec![4, 2, 3, 3], 1.0);
+        check_layer_gradients(Box::new(BatchNorm::new(2)), &x, 1e-2, 4e-2);
+    }
+
+    #[test]
+    fn gradcheck_2d() {
+        let mut rng = StdRng::seed_from_u64(44);
+        let x = init::randn_tensor(&mut rng, vec![6, 3], 1.0);
+        check_layer_gradients(Box::new(BatchNorm::new(3)), &x, 1e-2, 4e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "more than one value")]
+    fn train_single_value_panics() {
+        let mut bn = BatchNorm::new(2);
+        bn.forward(&Tensor::zeros(vec![1, 2]), Mode::Train);
+    }
+
+    #[test]
+    #[should_panic(expected = "2-D or 4-D")]
+    fn three_d_input_panics() {
+        let mut bn = BatchNorm::new(2);
+        bn.forward(&Tensor::zeros(vec![1, 2, 3]), Mode::Eval);
+    }
+}

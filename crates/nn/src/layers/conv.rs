@@ -1,0 +1,456 @@
+//! 2-D convolution via im2col + matrix multiply.
+
+use rand::Rng;
+
+use crate::init;
+use crate::layer::{Layer, Mode, Param};
+use crate::tensor::{matmul_into, Tensor};
+
+/// Spatial padding policy for [`Conv2d`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Padding {
+    /// No padding: output is `H - K + 1` per side.
+    Valid,
+    /// Zero padding of `K / 2` per side: output matches the input size
+    /// (requires an odd kernel).
+    Same,
+}
+
+/// A 2-D convolution layer (stride 1) over `(N, C, H, W)` inputs.
+///
+/// The kernel is square (`K × K`); the paper uses `K = 5` throughout. The
+/// implementation lowers each sample to a column matrix (im2col) and runs a
+/// single matrix multiply per sample, which is the standard CPU strategy.
+///
+/// # Examples
+///
+/// ```
+/// use snia_nn::layers::{Conv2d, Padding};
+/// use snia_nn::{Layer, Mode, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut conv = Conv2d::new(1, 10, 5, Padding::Same, &mut rng);
+/// let x = Tensor::zeros(vec![2, 1, 16, 16]);
+/// let y = conv.forward(&x, Mode::Eval);
+/// assert_eq!(y.shape(), &[2, 10, 16, 16]);
+/// ```
+#[derive(Debug)]
+pub struct Conv2d {
+    /// Weight stored as `(out_channels, in_channels * k * k)`.
+    weight: Param,
+    bias: Param,
+    in_channels: usize,
+    out_channels: usize,
+    kernel: usize,
+    padding: Padding,
+    cache: Option<ConvCache>,
+}
+
+#[derive(Debug)]
+struct ConvCache {
+    input_shape: Vec<usize>,
+    /// One im2col matrix per sample, each `(C*K*K) x (OH*OW)` flat.
+    cols: Vec<Vec<f32>>,
+    out_h: usize,
+    out_w: usize,
+}
+
+impl Conv2d {
+    /// Creates a convolution with He-normal weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero, or if `padding == Same` with an even
+    /// kernel.
+    pub fn new<R: Rng + ?Sized>(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        padding: Padding,
+        rng: &mut R,
+    ) -> Self {
+        assert!(in_channels > 0 && out_channels > 0 && kernel > 0);
+        if padding == Padding::Same {
+            assert!(kernel % 2 == 1, "Same padding requires an odd kernel");
+        }
+        let fan_in = in_channels * kernel * kernel;
+        let weight = init::he_normal(rng, vec![out_channels, fan_in], fan_in);
+        Conv2d {
+            weight: Param::new("weight", weight),
+            bias: Param::new("bias", Tensor::zeros(vec![out_channels])),
+            in_channels,
+            out_channels,
+            kernel,
+            padding,
+            cache: None,
+        }
+    }
+
+    /// Kernel size.
+    pub fn kernel(&self) -> usize {
+        self.kernel
+    }
+
+    /// Output spatial size for a given input size.
+    pub fn out_size(&self, h: usize, w: usize) -> (usize, usize) {
+        match self.padding {
+            Padding::Valid => (h + 1 - self.kernel, w + 1 - self.kernel),
+            Padding::Same => (h, w),
+        }
+    }
+
+    fn pad(&self) -> usize {
+        match self.padding {
+            Padding::Valid => 0,
+            Padding::Same => self.kernel / 2,
+        }
+    }
+
+    /// Lowers one sample `(C, H, W)` into a `(C*K*K, OH*OW)` column matrix.
+    fn im2col(&self, sample: &[f32], h: usize, w: usize, out_h: usize, out_w: usize) -> Vec<f32> {
+        let k = self.kernel;
+        let c = self.in_channels;
+        let pad = self.pad() as isize;
+        let mut col = vec![0.0f32; c * k * k * out_h * out_w];
+        let ow_len = out_h * out_w;
+        for ci in 0..c {
+            let plane = &sample[ci * h * w..(ci + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row_idx = (ci * k + ky) * k + kx;
+                    let dst = &mut col[row_idx * ow_len..(row_idx + 1) * ow_len];
+                    for oy in 0..out_h {
+                        let iy = oy as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
+                        let dst_row = &mut dst[oy * out_w..(oy + 1) * out_w];
+                        for ox in 0..out_w {
+                            let ix = ox as isize + kx as isize - pad;
+                            if ix >= 0 && ix < w as isize {
+                                dst_row[ox] = src_row[ix as usize];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        col
+    }
+
+    /// Scatters a `(C*K*K, OH*OW)` column-gradient back onto an input-plane
+    /// gradient `(C, H, W)`, accumulating overlaps.
+    fn col2im_add(
+        &self,
+        col: &[f32],
+        grad_sample: &mut [f32],
+        h: usize,
+        w: usize,
+        out_h: usize,
+        out_w: usize,
+    ) {
+        let k = self.kernel;
+        let c = self.in_channels;
+        let pad = self.pad() as isize;
+        let ow_len = out_h * out_w;
+        for ci in 0..c {
+            let plane = &mut grad_sample[ci * h * w..(ci + 1) * h * w];
+            for ky in 0..k {
+                for kx in 0..k {
+                    let row_idx = (ci * k + ky) * k + kx;
+                    let src = &col[row_idx * ow_len..(row_idx + 1) * ow_len];
+                    for oy in 0..out_h {
+                        let iy = oy as isize + ky as isize - pad;
+                        if iy < 0 || iy >= h as isize {
+                            continue;
+                        }
+                        let dst_row = &mut plane[iy as usize * w..(iy as usize + 1) * w];
+                        let src_row = &src[oy * out_w..(oy + 1) * out_w];
+                        for ox in 0..out_w {
+                            let ix = ox as isize + kx as isize - pad;
+                            if ix >= 0 && ix < w as isize {
+                                dst_row[ix as usize] += src_row[ox];
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl Layer for Conv2d {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.ndim(), 4, "Conv2d expects (N, C, H, W), got {:?}", input.shape());
+        let (n, c, h, w) = (
+            input.shape()[0],
+            input.shape()[1],
+            input.shape()[2],
+            input.shape()[3],
+        );
+        assert_eq!(c, self.in_channels, "Conv2d channel mismatch");
+        let (out_h, out_w) = self.out_size(h, w);
+        assert!(out_h > 0 && out_w > 0, "input {h}x{w} too small for kernel {}", self.kernel);
+        let ckk = self.in_channels * self.kernel * self.kernel;
+        let ow_len = out_h * out_w;
+
+        let mut out = Tensor::zeros(vec![n, self.out_channels, out_h, out_w]);
+        let mut cols = Vec::with_capacity(if mode == Mode::Train { n } else { 0 });
+        let bias = self.bias.value.data().to_vec();
+        for ni in 0..n {
+            let sample = &input.data()[ni * c * h * w..(ni + 1) * c * h * w];
+            let col = self.im2col(sample, h, w, out_h, out_w);
+            let out_sample =
+                &mut out.data_mut()[ni * self.out_channels * ow_len..(ni + 1) * self.out_channels * ow_len];
+            matmul_into(
+                self.weight.value.data(),
+                &col,
+                out_sample,
+                self.out_channels,
+                ckk,
+                ow_len,
+            );
+            for (oc, &b) in bias.iter().enumerate() {
+                for v in &mut out_sample[oc * ow_len..(oc + 1) * ow_len] {
+                    *v += b;
+                }
+            }
+            if mode == Mode::Train {
+                cols.push(col);
+            }
+        }
+        if mode == Mode::Train {
+            self.cache = Some(ConvCache {
+                input_shape: input.shape().to_vec(),
+                cols,
+                out_h,
+                out_w,
+            });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Conv2d::backward called without a training forward pass");
+        let (n, c, h, w) = (
+            cache.input_shape[0],
+            cache.input_shape[1],
+            cache.input_shape[2],
+            cache.input_shape[3],
+        );
+        let (out_h, out_w) = (cache.out_h, cache.out_w);
+        let ow_len = out_h * out_w;
+        let ckk = self.in_channels * self.kernel * self.kernel;
+        assert_eq!(
+            grad_output.shape(),
+            &[n, self.out_channels, out_h, out_w],
+            "Conv2d grad_output shape mismatch"
+        );
+
+        let mut grad_input = Tensor::zeros(cache.input_shape.clone());
+        let mut dcol = vec![0.0f32; ckk * ow_len];
+        for ni in 0..n {
+            let dy = &grad_output.data()
+                [ni * self.out_channels * ow_len..(ni + 1) * self.out_channels * ow_len];
+            let col = &cache.cols[ni];
+
+            // dW += dy (OC, OWL) x col^T (OWL, CKK)
+            // computed as dW[o][r] += Σ_p dy[o][p] col[r][p]
+            let dw = self.weight.grad.data_mut();
+            for oc in 0..self.out_channels {
+                let dy_row = &dy[oc * ow_len..(oc + 1) * ow_len];
+                let dw_row = &mut dw[oc * ckk..(oc + 1) * ckk];
+                for (r, dwv) in dw_row.iter_mut().enumerate() {
+                    let col_row = &col[r * ow_len..(r + 1) * ow_len];
+                    let mut acc = 0.0f32;
+                    for (a, b) in dy_row.iter().zip(col_row) {
+                        acc += a * b;
+                    }
+                    *dwv += acc;
+                }
+            }
+            // dBias
+            let db = self.bias.grad.data_mut();
+            for (oc, dbv) in db.iter_mut().enumerate() {
+                *dbv += dy[oc * ow_len..(oc + 1) * ow_len].iter().sum::<f32>();
+            }
+            // dcol = W^T (CKK, OC) x dy (OC, OWL)
+            dcol.fill(0.0);
+            let wdata = self.weight.value.data();
+            for oc in 0..self.out_channels {
+                let w_row = &wdata[oc * ckk..(oc + 1) * ckk];
+                let dy_row = &dy[oc * ow_len..(oc + 1) * ow_len];
+                for (r, &wv) in w_row.iter().enumerate() {
+                    if wv == 0.0 {
+                        continue;
+                    }
+                    let dcol_row = &mut dcol[r * ow_len..(r + 1) * ow_len];
+                    for (d, &g) in dcol_row.iter_mut().zip(dy_row) {
+                        *d += wv * g;
+                    }
+                }
+            }
+            let grad_sample = &mut grad_input.data_mut()[ni * c * h * w..(ni + 1) * c * h * w];
+            self.col2im_add(&dcol, grad_sample, h, w, out_h, out_w);
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Conv2d"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds a conv with deterministic weights for value tests.
+    fn fixed_conv(in_c: usize, out_c: usize, k: usize, padding: Padding) -> Conv2d {
+        let mut rng = StdRng::seed_from_u64(0);
+        let mut conv = Conv2d::new(in_c, out_c, k, padding, &mut rng);
+        let n = conv.weight.value.len();
+        let vals: Vec<f32> = (0..n).map(|i| (i % 5) as f32 * 0.1 - 0.2).collect();
+        conv.weight.value.data_mut().copy_from_slice(&vals);
+        conv
+    }
+
+    /// Direct (naive) convolution used as an independent oracle.
+    fn naive_conv(
+        x: &Tensor,
+        weight: &Tensor,
+        bias: &Tensor,
+        k: usize,
+        pad: usize,
+        out_c: usize,
+    ) -> Tensor {
+        let (n, c, h, w) = (x.shape()[0], x.shape()[1], x.shape()[2], x.shape()[3]);
+        let out_h = h + 2 * pad + 1 - k;
+        let out_w = w + 2 * pad + 1 - k;
+        let mut out = Tensor::zeros(vec![n, out_c, out_h, out_w]);
+        for ni in 0..n {
+            for oc in 0..out_c {
+                for oy in 0..out_h {
+                    for ox in 0..out_w {
+                        let mut acc = bias.data()[oc];
+                        for ci in 0..c {
+                            for ky in 0..k {
+                                for kx in 0..k {
+                                    let iy = oy as isize + ky as isize - pad as isize;
+                                    let ix = ox as isize + kx as isize - pad as isize;
+                                    if iy < 0 || ix < 0 || iy >= h as isize || ix >= w as isize {
+                                        continue;
+                                    }
+                                    let wv = weight.data()[oc * c * k * k + (ci * k + ky) * k + kx];
+                                    acc += wv * x.at(&[ni, ci, iy as usize, ix as usize]);
+                                }
+                            }
+                        }
+                        *out.at_mut(&[ni, oc, oy, ox]) = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn forward_matches_naive_valid() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut conv = fixed_conv(2, 3, 3, Padding::Valid);
+        conv.bias.value.data_mut().copy_from_slice(&[0.1, -0.2, 0.3]);
+        let x = init::randn_tensor(&mut rng, vec![2, 2, 6, 7], 1.0);
+        let y = conv.forward(&x, Mode::Eval);
+        let expected = naive_conv(&x, &conv.weight.value, &conv.bias.value, 3, 0, 3);
+        assert_eq!(y.shape(), expected.shape());
+        for (a, b) in y.data().iter().zip(expected.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn forward_matches_naive_same() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let conv_w = fixed_conv(1, 2, 5, Padding::Same);
+        let mut conv = conv_w;
+        let x = init::randn_tensor(&mut rng, vec![1, 1, 8, 8], 1.0);
+        let y = conv.forward(&x, Mode::Eval);
+        let expected = naive_conv(&x, &conv.weight.value, &conv.bias.value, 5, 2, 2);
+        assert_eq!(y.shape(), &[1, 2, 8, 8]);
+        for (a, b) in y.data().iter().zip(expected.data()) {
+            assert!((a - b).abs() < 1e-4, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 3x3 kernel with 1 at the centre acts as identity under Same padding.
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut conv = Conv2d::new(1, 1, 3, Padding::Same, &mut rng);
+        conv.weight.value.fill_zero();
+        conv.weight.value.data_mut()[4] = 1.0;
+        conv.bias.value.fill_zero();
+        let x = init::randn_tensor(&mut rng, vec![1, 1, 5, 5], 1.0);
+        let y = conv.forward(&x, Mode::Eval);
+        for (a, b) in y.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradcheck_valid_padding() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let conv = Conv2d::new(2, 3, 3, Padding::Valid, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![2, 2, 5, 5], 1.0);
+        check_layer_gradients(Box::new(conv), &x, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn gradcheck_same_padding() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let conv = Conv2d::new(1, 2, 3, Padding::Same, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![2, 1, 4, 4], 1.0);
+        check_layer_gradients(Box::new(conv), &x, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn out_size_valid_and_same() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let conv_v = Conv2d::new(1, 1, 5, Padding::Valid, &mut rng);
+        assert_eq!(conv_v.out_size(60, 60), (56, 56));
+        let conv_s = Conv2d::new(1, 1, 5, Padding::Same, &mut rng);
+        assert_eq!(conv_s.out_size(60, 60), (60, 60));
+    }
+
+    #[test]
+    #[should_panic(expected = "channel mismatch")]
+    fn channel_mismatch_panics() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut conv = Conv2d::new(2, 1, 3, Padding::Valid, &mut rng);
+        conv.forward(&Tensor::zeros(vec![1, 3, 5, 5]), Mode::Eval);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd kernel")]
+    fn same_padding_even_kernel_panics() {
+        let mut rng = StdRng::seed_from_u64(12);
+        Conv2d::new(1, 1, 4, Padding::Same, &mut rng);
+    }
+}

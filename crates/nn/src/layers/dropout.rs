@@ -1,0 +1,116 @@
+//! Inverted dropout.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::layer::{Layer, Mode};
+use crate::tensor::Tensor;
+
+/// Inverted dropout: in training, zeroes each element with probability `p`
+/// and scales survivors by `1/(1-p)`; in evaluation it is the identity.
+///
+/// The layer owns a seeded RNG so that training runs are reproducible.
+#[derive(Debug)]
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    cache_mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer with drop probability `p` and a fixed seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "p must be in [0, 1), got {p}");
+        Dropout {
+            p,
+            rng: StdRng::seed_from_u64(seed),
+            cache_mask: None,
+        }
+    }
+
+    /// The drop probability.
+    pub fn p(&self) -> f32 {
+        self.p
+    }
+}
+
+impl Layer for Dropout {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval || self.p == 0.0 {
+            if mode == Mode::Train {
+                self.cache_mask = Some(Tensor::ones(input.shape().to_vec()));
+            }
+            return input.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        let mask_data: Vec<f32> = (0..input.len())
+            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .collect();
+        let mask = Tensor::from_vec(input.shape().to_vec(), mask_data);
+        let out = input * &mask;
+        self.cache_mask = Some(mask);
+        out
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let mask = self
+            .cache_mask
+            .take()
+            .expect("Dropout::backward called without a training forward pass");
+        grad_output * &mask
+    }
+
+    fn name(&self) -> &'static str {
+        "Dropout"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let x = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(d.forward(&x, Mode::Eval), x);
+    }
+
+    #[test]
+    fn train_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones(vec![100_000]);
+        let y = d.forward(&x, Mode::Train);
+        assert!((y.mean() - 1.0).abs() < 0.02, "mean {}", y.mean());
+    }
+
+    #[test]
+    fn backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones(vec![64]);
+        let y = d.forward(&x, Mode::Train);
+        let g = d.backward(&Tensor::ones(vec![64]));
+        // Gradient is zero exactly where the output was zero.
+        for (yv, gv) in y.data().iter().zip(g.data()) {
+            assert_eq!(*yv == 0.0, *gv == 0.0);
+        }
+    }
+
+    #[test]
+    fn p_zero_is_identity_in_train() {
+        let mut d = Dropout::new(0.0, 4);
+        let x = Tensor::from_slice(&[5.0, -1.0]);
+        assert_eq!(d.forward(&x, Mode::Train), x);
+    }
+
+    #[test]
+    #[should_panic(expected = "p must be in")]
+    fn invalid_p_panics() {
+        Dropout::new(1.0, 0);
+    }
+}

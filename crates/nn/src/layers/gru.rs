@@ -1,0 +1,309 @@
+//! A gated recurrent unit (Cho et al. 2014) processing `(N, T, F)`
+//! sequences and returning the final hidden state `(N, H)`.
+//!
+//! Used by the Charnock & Moss (2016)-style recurrent baseline in Table 2,
+//! which classifies supernovae from multi-epoch light-curve sequences.
+
+use rand::Rng;
+
+use crate::init;
+use crate::layer::{Layer, Mode, Param};
+use crate::layers::activation::sigmoid_scalar;
+use crate::tensor::Tensor;
+
+/// A single-layer GRU.
+///
+/// Gates (for step `t`, with `c = [x_t, h_{t-1}]`):
+///
+/// ```text
+/// z = σ(W_z c + b_z)          update gate
+/// r = σ(W_r c + b_r)          reset gate
+/// ĥ = tanh(W_h [x_t, r⊙h] + b_h)
+/// h_t = (1−z)⊙h_{t-1} + z⊙ĥ
+/// ```
+///
+/// Backpropagation through time is implemented exactly (full unroll).
+#[derive(Debug)]
+pub struct Gru {
+    wz: Param,
+    bz: Param,
+    wr: Param,
+    br: Param,
+    wh: Param,
+    bh: Param,
+    input_size: usize,
+    hidden_size: usize,
+    cache: Option<GruCache>,
+}
+
+#[derive(Debug)]
+struct StepCache {
+    /// `[x_t, h_{t-1}]`, shape `(N, F+H)`.
+    cat_zr: Tensor,
+    /// `[x_t, r ⊙ h_{t-1}]`, shape `(N, F+H)`.
+    cat_h: Tensor,
+    z: Tensor,
+    r: Tensor,
+    hcand: Tensor,
+    h_prev: Tensor,
+}
+
+#[derive(Debug)]
+struct GruCache {
+    steps: Vec<StepCache>,
+    input_shape: Vec<usize>,
+}
+
+impl Gru {
+    /// Creates a GRU with Xavier-initialised gate weights and zero biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either size is zero.
+    pub fn new<R: Rng + ?Sized>(input_size: usize, hidden_size: usize, rng: &mut R) -> Self {
+        assert!(input_size > 0 && hidden_size > 0, "sizes must be positive");
+        let fan_in = input_size + hidden_size;
+        let mk = |rng: &mut R| init::xavier_uniform(rng, vec![hidden_size, fan_in], fan_in, hidden_size);
+        Gru {
+            wz: Param::new("wz", mk(rng)),
+            bz: Param::new("bz", Tensor::zeros(vec![hidden_size])),
+            wr: Param::new("wr", mk(rng)),
+            br: Param::new("br", Tensor::zeros(vec![hidden_size])),
+            wh: Param::new("wh", mk(rng)),
+            bh: Param::new("bh", Tensor::zeros(vec![hidden_size])),
+            input_size,
+            hidden_size,
+            cache: None,
+        }
+    }
+
+    /// Hidden-state dimensionality.
+    pub fn hidden_size(&self) -> usize {
+        self.hidden_size
+    }
+
+    /// `cat · Wᵀ + b`
+    fn affine(cat: &Tensor, w: &Tensor, b: &Tensor) -> Tensor {
+        let mut out = cat.matmul_t(w);
+        let (n, h) = (out.shape()[0], out.shape()[1]);
+        for i in 0..n {
+            for (o, &bv) in out.data_mut()[i * h..(i + 1) * h].iter_mut().zip(b.data()) {
+                *o += bv;
+            }
+        }
+        out
+    }
+
+    /// Extracts the `(N, F)` slice at time `t` from an `(N, T, F)` tensor.
+    fn time_slice(input: &Tensor, t: usize) -> Tensor {
+        let (n, tt, f) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        let mut out = Tensor::zeros(vec![n, f]);
+        for ni in 0..n {
+            let src = &input.data()[(ni * tt + t) * f..(ni * tt + t + 1) * f];
+            out.data_mut()[ni * f..(ni + 1) * f].copy_from_slice(src);
+        }
+        out
+    }
+}
+
+impl Layer for Gru {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.ndim(), 3, "Gru expects (N, T, F), got {:?}", input.shape());
+        let (n, t_len, f) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+        assert_eq!(f, self.input_size, "Gru input size mismatch");
+        assert!(t_len > 0, "Gru requires at least one timestep");
+
+        let mut h = Tensor::zeros(vec![n, self.hidden_size]);
+        let mut steps = Vec::with_capacity(if mode == Mode::Train { t_len } else { 0 });
+        for t in 0..t_len {
+            let x_t = Self::time_slice(input, t);
+            let cat_zr = Tensor::concat_cols(&[&x_t, &h]);
+            let z = Self::affine(&cat_zr, &self.wz.value, &self.bz.value).map(sigmoid_scalar);
+            let r = Self::affine(&cat_zr, &self.wr.value, &self.br.value).map(sigmoid_scalar);
+            let rh = &r * &h;
+            let cat_h = Tensor::concat_cols(&[&x_t, &rh]);
+            let hcand = Self::affine(&cat_h, &self.wh.value, &self.bh.value).map(f32::tanh);
+            let mut h_new = Tensor::zeros(vec![n, self.hidden_size]);
+            for i in 0..h_new.len() {
+                let zv = z.data()[i];
+                h_new.data_mut()[i] = (1.0 - zv) * h.data()[i] + zv * hcand.data()[i];
+            }
+            if mode == Mode::Train {
+                steps.push(StepCache {
+                    cat_zr,
+                    cat_h,
+                    z,
+                    r,
+                    hcand,
+                    h_prev: h.clone(),
+                });
+            }
+            h = h_new;
+        }
+        if mode == Mode::Train {
+            self.cache = Some(GruCache {
+                steps,
+                input_shape: input.shape().to_vec(),
+            });
+        }
+        h
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Gru::backward called without a training forward pass");
+        let (n, t_len, f) = (
+            cache.input_shape[0],
+            cache.input_shape[1],
+            cache.input_shape[2],
+        );
+        let hs = self.hidden_size;
+        let mut grad_input = Tensor::zeros(cache.input_shape.clone());
+        let mut dh = grad_output.clone();
+
+        for t in (0..t_len).rev() {
+            let step = &cache.steps[t];
+            let mut da_z = Tensor::zeros(vec![n, hs]);
+            let mut da_h = Tensor::zeros(vec![n, hs]);
+            let mut dh_prev = Tensor::zeros(vec![n, hs]);
+            for i in 0..n * hs {
+                let g = dh.data()[i];
+                let zv = step.z.data()[i];
+                let hc = step.hcand.data()[i];
+                let hp = step.h_prev.data()[i];
+                da_z.data_mut()[i] = g * (hc - hp) * zv * (1.0 - zv);
+                da_h.data_mut()[i] = g * zv * (1.0 - hc * hc);
+                dh_prev.data_mut()[i] = g * (1.0 - zv);
+            }
+
+            // Candidate path.
+            self.wh.grad += &da_h.t_matmul(&step.cat_h);
+            self.bh.grad += &da_h.sum_rows();
+            let dcat_h = da_h.matmul(&self.wh.value); // (N, F+H)
+            let parts = dcat_h.split_cols(&[f, hs]);
+            let (dx_h, drh) = (&parts[0], &parts[1]);
+            let mut da_r = Tensor::zeros(vec![n, hs]);
+            for i in 0..n * hs {
+                let d = drh.data()[i];
+                let rv = step.r.data()[i];
+                let hp = step.h_prev.data()[i];
+                dh_prev.data_mut()[i] += d * rv;
+                da_r.data_mut()[i] = d * hp * rv * (1.0 - rv);
+            }
+
+            // Gate paths.
+            self.wz.grad += &da_z.t_matmul(&step.cat_zr);
+            self.bz.grad += &da_z.sum_rows();
+            self.wr.grad += &da_r.t_matmul(&step.cat_zr);
+            self.br.grad += &da_r.sum_rows();
+            let dcat_zr = {
+                let mut d = da_z.matmul(&self.wz.value);
+                d += &da_r.matmul(&self.wr.value);
+                d
+            };
+            let zr_parts = dcat_zr.split_cols(&[f, hs]);
+            dh_prev += &zr_parts[1];
+
+            // Input gradient at step t.
+            for ni in 0..n {
+                let dst = &mut grad_input.data_mut()[(ni * t_len + t) * f..(ni * t_len + t + 1) * f];
+                for (d, (&a, &b)) in dst.iter_mut().zip(
+                    dx_h.data()[ni * f..(ni + 1) * f]
+                        .iter()
+                        .zip(&zr_parts[0].data()[ni * f..(ni + 1) * f]),
+                ) {
+                    *d = a + b;
+                }
+            }
+            dh = dh_prev;
+        }
+        grad_input
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.wz,
+            &mut self.bz,
+            &mut self.wr,
+            &mut self.br,
+            &mut self.wh,
+            &mut self.bh,
+        ]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.wz, &self.bz, &self.wr, &self.br, &self.wh, &self.bh]
+    }
+
+    fn name(&self) -> &'static str {
+        "Gru"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_is_final_hidden() {
+        let mut rng = StdRng::seed_from_u64(60);
+        let mut gru = Gru::new(3, 5, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![2, 4, 3], 1.0);
+        let h = gru.forward(&x, Mode::Eval);
+        assert_eq!(h.shape(), &[2, 5]);
+        assert!(h.all_finite());
+    }
+
+    #[test]
+    fn hidden_state_is_bounded() {
+        // h is a convex mix of tanh outputs and zeros, so |h| ≤ 1.
+        let mut rng = StdRng::seed_from_u64(61);
+        let mut gru = Gru::new(2, 4, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![3, 10, 2], 5.0);
+        let h = gru.forward(&x, Mode::Eval);
+        assert!(h.max() <= 1.0 && h.min() >= -1.0);
+    }
+
+    #[test]
+    fn single_step_matches_gate_equations() {
+        let mut rng = StdRng::seed_from_u64(62);
+        let mut gru = Gru::new(2, 3, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![1, 1, 2], 1.0);
+        let h = gru.forward(&x, Mode::Eval);
+        // With h0 = 0: z = σ(Wz[x,0]+bz), ĥ = tanh(Wh[x,0]+bh), h = z ⊙ ĥ.
+        let x2 = x.reshape(vec![1, 2]);
+        let cat = Tensor::concat_cols(&[&x2, &Tensor::zeros(vec![1, 3])]);
+        let z = Gru::affine(&cat, &gru.wz.value, &gru.bz.value).map(sigmoid_scalar);
+        let hc = Gru::affine(&cat, &gru.wh.value, &gru.bh.value).map(f32::tanh);
+        for i in 0..3 {
+            let expected = z.data()[i] * hc.data()[i];
+            assert!((h.data()[i] - expected).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradcheck_multi_step() {
+        let mut rng = StdRng::seed_from_u64(63);
+        let gru = Gru::new(2, 3, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![2, 3, 2], 1.0);
+        check_layer_gradients(Box::new(gru), &x, 1e-2, 4e-2);
+    }
+
+    #[test]
+    fn order_sensitivity() {
+        // A GRU must distinguish sequence orderings.
+        let mut rng = StdRng::seed_from_u64(64);
+        let mut gru = Gru::new(1, 4, &mut rng);
+        let fwd = Tensor::from_vec(vec![1, 3, 1], vec![1.0, 0.0, -1.0]);
+        let rev = Tensor::from_vec(vec![1, 3, 1], vec![-1.0, 0.0, 1.0]);
+        let hf = gru.forward(&fwd, Mode::Eval);
+        let hr = gru.forward(&rev, Mode::Eval);
+        assert!((&hf - &hr).norm() > 1e-4);
+    }
+}

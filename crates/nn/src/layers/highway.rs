@@ -1,0 +1,207 @@
+//! Highway layers (Srivastava, Greff & Schmidhuber 2015).
+//!
+//! The paper's light-curve classifier stacks two highway layers between its
+//! input and output fully-connected layers.
+
+use rand::Rng;
+
+use crate::layer::{Layer, Mode, Param};
+use crate::layers::activation::sigmoid_scalar;
+use crate::layers::Linear;
+use crate::tensor::Tensor;
+
+/// A highway layer: `y = T(x) ⊙ H(x) + (1 − T(x)) ⊙ x` with transform gate
+/// `T(x) = σ(W_T·x + b_T)` and candidate `H(x) = relu(W_H·x + b_H)`.
+///
+/// Input and output have the same dimensionality. The gate bias is
+/// initialised to −1 so the layer starts close to the identity (carry)
+/// behaviour, as recommended by the original paper.
+#[derive(Debug)]
+pub struct Highway {
+    transform: Linear,
+    gate: Linear,
+    dim: usize,
+    cache: Option<HighwayCache>,
+}
+
+#[derive(Debug)]
+struct HighwayCache {
+    input: Tensor,
+    /// Pre-activation of the candidate branch.
+    a_h: Tensor,
+    /// Candidate `relu(a_h)`.
+    h: Tensor,
+    /// Gate output `σ(a_t)`.
+    t: Tensor,
+}
+
+impl Highway {
+    /// Creates a highway layer of the given dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new<R: Rng + ?Sized>(dim: usize, rng: &mut R) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        let transform = Linear::new(dim, dim, rng);
+        let mut gate = Linear::new(dim, dim, rng);
+        // Negative gate bias → initially carry the input through.
+        for b in gate.params_mut()[1].value.data_mut() {
+            *b = -1.0;
+        }
+        Highway {
+            transform,
+            gate,
+            dim,
+            cache: None,
+        }
+    }
+
+    /// The layer dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+impl Layer for Highway {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.ndim(), 2, "Highway expects (N, F) input");
+        assert_eq!(input.shape()[1], self.dim, "Highway dimension mismatch");
+        let a_h = self.transform.apply(input);
+        let h = a_h.map(|v| v.max(0.0));
+        let a_t = self.gate.apply(input);
+        let t = a_t.map(sigmoid_scalar);
+        // y = t*h + (1-t)*x
+        let mut y = Tensor::zeros(input.shape().to_vec());
+        for (((yv, &tv), &hv), &xv) in y
+            .data_mut()
+            .iter_mut()
+            .zip(t.data())
+            .zip(h.data())
+            .zip(input.data())
+        {
+            *yv = tv * hv + (1.0 - tv) * xv;
+        }
+        if mode == Mode::Train {
+            self.cache = Some(HighwayCache {
+                input: input.clone(),
+                a_h,
+                h,
+                t,
+            });
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("Highway::backward called without a training forward pass");
+        let HighwayCache { input, a_h, h, t } = cache;
+
+        // d a_h = g ⊙ t ⊙ relu'(a_h)
+        let mut da_h = Tensor::zeros(input.shape().to_vec());
+        // d a_t = g ⊙ (h − x) ⊙ t(1−t)
+        let mut da_t = Tensor::zeros(input.shape().to_vec());
+        // Direct carry path: g ⊙ (1−t)
+        let mut dx = Tensor::zeros(input.shape().to_vec());
+        for i in 0..input.len() {
+            let g = grad_output.data()[i];
+            let tv = t.data()[i];
+            let hv = h.data()[i];
+            let xv = input.data()[i];
+            da_h.data_mut()[i] = if a_h.data()[i] > 0.0 { g * tv } else { 0.0 };
+            da_t.data_mut()[i] = g * (hv - xv) * tv * (1.0 - tv);
+            dx.data_mut()[i] = g * (1.0 - tv);
+        }
+        dx += &self.transform.apply_backward(&input, &da_h);
+        dx += &self.gate.apply_backward(&input, &da_t);
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut v = self.transform.params_mut();
+        v.extend(self.gate.params_mut());
+        v
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        let mut v = self.transform.params();
+        v.extend(self.gate.params());
+        v
+    }
+
+    fn name(&self) -> &'static str {
+        "Highway"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn output_shape_matches_input() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut hw = Highway::new(6, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![3, 6], 1.0);
+        let y = hw.forward(&x, Mode::Eval);
+        assert_eq!(y.shape(), x.shape());
+    }
+
+    #[test]
+    fn strongly_closed_gate_is_identity() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut hw = Highway::new(4, &mut rng);
+        // Push the gate bias very negative: T ≈ 0 → y ≈ x.
+        for b in hw.gate.params_mut()[1].value.data_mut() {
+            *b = -30.0;
+        }
+        for w in hw.gate.params_mut()[0].value.data_mut() {
+            *w = 0.0;
+        }
+        let x = init::randn_tensor(&mut rng, vec![2, 4], 1.0);
+        let y = hw.forward(&x, Mode::Eval);
+        for (a, b) in y.data().iter().zip(x.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn fully_open_gate_is_transform_only() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut hw = Highway::new(4, &mut rng);
+        for b in hw.gate.params_mut()[1].value.data_mut() {
+            *b = 30.0;
+        }
+        for w in hw.gate.params_mut()[0].value.data_mut() {
+            *w = 0.0;
+        }
+        let x = init::randn_tensor(&mut rng, vec![2, 4], 1.0);
+        let y = hw.forward(&x, Mode::Eval);
+        let expected = hw.transform.apply(&x).map(|v| v.max(0.0));
+        for (a, b) in y.data().iter().zip(expected.data()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn gradcheck() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let hw = Highway::new(4, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![3, 4], 1.0);
+        check_layer_gradients(Box::new(hw), &x, 1e-2, 3e-2);
+    }
+
+    #[test]
+    fn has_four_parameter_tensors() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let hw = Highway::new(4, &mut rng);
+        assert_eq!(hw.params().len(), 4);
+    }
+}

@@ -1,0 +1,203 @@
+//! Fully-connected (affine) layer.
+
+use rand::Rng;
+
+use crate::init;
+use crate::layer::{Layer, Mode, Param};
+use crate::tensor::Tensor;
+
+/// A fully-connected layer computing `y = x · Wᵀ + b`.
+///
+/// Input shape `(N, in_features)`, output shape `(N, out_features)`.
+/// Weights are He-initialised (the models in this repository always follow
+/// linear layers with ReLU-family nonlinearities); biases start at zero.
+///
+/// # Examples
+///
+/// ```
+/// use snia_nn::layers::Linear;
+/// use snia_nn::{Layer, Mode, Tensor};
+/// use rand::SeedableRng;
+///
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let mut lin = Linear::new(3, 2, &mut rng);
+/// let x = Tensor::zeros(vec![4, 3]);
+/// let y = lin.forward(&x, Mode::Eval);
+/// assert_eq!(y.shape(), &[4, 2]);
+/// ```
+#[derive(Debug)]
+pub struct Linear {
+    weight: Param,
+    bias: Param,
+    in_features: usize,
+    out_features: usize,
+    cache_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a new layer with He-normal weights and zero biases.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either feature count is zero.
+    pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
+        assert!(in_features > 0 && out_features > 0, "feature counts must be positive");
+        let weight = init::he_normal(rng, vec![out_features, in_features], in_features);
+        Linear {
+            weight: Param::new("weight", weight),
+            bias: Param::new("bias", Tensor::zeros(vec![out_features])),
+            in_features,
+            out_features,
+            cache_input: None,
+        }
+    }
+
+    /// Creates a layer from explicit weight `(out, in)` and bias `(out,)`
+    /// tensors (used by tests and deserialisation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn from_parts(weight: Tensor, bias: Tensor) -> Self {
+        assert_eq!(weight.ndim(), 2, "weight must be 2-D");
+        let (out_features, in_features) = (weight.shape()[0], weight.shape()[1]);
+        assert_eq!(bias.shape(), &[out_features], "bias shape mismatch");
+        Linear {
+            weight: Param::new("weight", weight),
+            bias: Param::new("bias", bias),
+            in_features,
+            out_features,
+            cache_input: None,
+        }
+    }
+
+    /// Number of input features.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Number of output features.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// The affine map without caching (used by composite layers that manage
+    /// their own caches, e.g. [`crate::layers::Highway`]).
+    pub fn apply(&self, input: &Tensor) -> Tensor {
+        let mut out = input.matmul_t(&self.weight.value);
+        let n = out.shape()[0];
+        let f = self.out_features;
+        let bias = self.bias.value.data();
+        let data = out.data_mut();
+        for i in 0..n {
+            for (o, &b) in data[i * f..(i + 1) * f].iter_mut().zip(bias) {
+                *o += b;
+            }
+        }
+        out
+    }
+
+    /// Accumulates parameter gradients for an `apply` call with the given
+    /// input, returning the input gradient. Exposed for composite layers.
+    pub fn apply_backward(&mut self, input: &Tensor, grad_output: &Tensor) -> Tensor {
+        // dW[o][i] = Σ_n dy[n][o] · x[n][i]
+        let dw = grad_output.t_matmul(input);
+        self.weight.grad += &dw;
+        self.bias.grad += &grad_output.sum_rows();
+        // dx = dy · W
+        grad_output.matmul(&self.weight.value)
+    }
+}
+
+impl Layer for Linear {
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        assert_eq!(input.ndim(), 2, "Linear expects (N, F) input, got {:?}", input.shape());
+        assert_eq!(
+            input.shape()[1],
+            self.in_features,
+            "Linear expects {} input features, got {:?}",
+            self.in_features,
+            input.shape()
+        );
+        if mode == Mode::Train {
+            self.cache_input = Some(input.clone());
+        }
+        self.apply(input)
+    }
+
+    fn backward(&mut self, grad_output: &Tensor) -> Tensor {
+        let input = self
+            .cache_input
+            .take()
+            .expect("Linear::backward called without a training forward pass");
+        self.apply_backward(&input, grad_output)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn name(&self) -> &'static str {
+        "Linear"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_layer_gradients;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_known_values() {
+        let w = Tensor::from_vec(vec![2, 3], vec![1., 0., -1., 2., 1., 0.]);
+        let b = Tensor::from_slice(&[0.5, -0.5]);
+        let mut lin = Linear::from_parts(w, b);
+        let x = Tensor::from_vec(vec![1, 3], vec![1., 2., 3.]);
+        let y = lin.forward(&x, Mode::Eval);
+        // row: [1*1 + 0*2 - 1*3 + 0.5, 2*1 + 1*2 + 0*3 - 0.5] = [-1.5, 3.5]
+        assert_eq!(y.data(), &[-1.5, 3.5]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let layer = Linear::new(4, 3, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![5, 4], 1.0);
+        check_layer_gradients(Box::new(layer), &x, 1e-2, 2e-2);
+    }
+
+    #[test]
+    fn batch_independence() {
+        // Each row of the output depends only on the same row of the input.
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        let x1 = init::randn_tensor(&mut rng, vec![1, 3], 1.0);
+        let x2 = init::randn_tensor(&mut rng, vec![1, 3], 1.0);
+        let both = Tensor::stack_rows(&[&x1.row(0), &x2.row(0)]);
+        let y_both = lin.forward(&both, Mode::Eval);
+        let y1 = lin.forward(&x1, Mode::Eval);
+        assert_eq!(y_both.row(0), y1.row(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "input features")]
+    fn wrong_feature_count_panics() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        lin.forward(&Tensor::zeros(vec![1, 4]), Mode::Eval);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a training forward")]
+    fn backward_without_forward_panics() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut lin = Linear::new(3, 2, &mut rng);
+        lin.backward(&Tensor::zeros(vec![1, 2]));
+    }
+}

@@ -1,0 +1,68 @@
+//! # snia-nn
+//!
+//! A small, self-contained CPU neural-network library written for the
+//! reproduction of *"Single-epoch supernova classification with deep
+//! convolutional neural networks"* (Kimura et al., 2017).
+//!
+//! The Rust deep-learning ecosystem is immature, so everything the paper's
+//! models need is implemented here from scratch:
+//!
+//! * [`Tensor`] — dense row-major `f32` n-dimensional arrays with the
+//!   elementwise / matrix operations the layers need.
+//! * [`Layer`] — the forward/backward building-block trait, with
+//!   implementations for 2-D convolution, batch normalisation (1-D and 2-D),
+//!   parametric ReLU, max pooling, fully-connected layers, highway layers
+//!   (Srivastava et al. 2015), GRUs (for the Charnock-style baseline),
+//!   dropout and common activations.
+//! * [`Sequential`] — a container chaining layers into a network.
+//! * [`optim`] — SGD, SGD-with-momentum and Adam optimizers plus learning
+//!   rate schedules.
+//! * [`loss`] — MSE, binary cross-entropy (with logits) and softmax
+//!   cross-entropy, each returning the loss *and* the input gradient.
+//! * [`gradcheck`] — finite-difference gradient checking used throughout the
+//!   test-suite to validate every analytic backward pass.
+//!
+//! ## Example
+//!
+//! ```
+//! use snia_nn::{Sequential, Tensor, Mode};
+//! use snia_nn::layers::{Linear, Relu};
+//! use snia_nn::loss::mse_loss;
+//! use snia_nn::optim::{Optimizer, Sgd};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let mut net = Sequential::new();
+//! net.push(Linear::new(2, 8, &mut rng));
+//! net.push(Relu::new());
+//! net.push(Linear::new(8, 1, &mut rng));
+//!
+//! let x = Tensor::from_vec(vec![2, 2], vec![0.0, 1.0, 1.0, 0.0]);
+//! let t = Tensor::from_vec(vec![2, 1], vec![1.0, -1.0]);
+//! let mut opt = Sgd::new(0.1);
+//! for _ in 0..50 {
+//!     let y = net.forward(&x, Mode::Train);
+//!     let (loss, grad) = mse_loss(&y, &t);
+//!     assert!(loss.is_finite());
+//!     net.zero_grad();
+//!     net.backward(&grad);
+//!     opt.step(&mut net.params_mut());
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod gradcheck;
+pub mod init;
+pub mod layer;
+pub mod layers;
+pub mod loss;
+pub mod net;
+pub mod optim;
+pub mod serialize;
+pub mod tensor;
+
+pub use layer::{Layer, Mode, Param};
+pub use net::Sequential;
+pub use tensor::Tensor;

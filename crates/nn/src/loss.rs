@@ -1,0 +1,187 @@
+//! Loss functions.
+//!
+//! Each loss returns `(scalar_loss, gradient_wrt_prediction)` so training
+//! loops can backpropagate immediately. All losses are averaged over the
+//! batch (first axis).
+
+use crate::layers::sigmoid_scalar as sigmoid;
+use crate::tensor::Tensor;
+
+/// Mean squared error: `L = mean((y − t)²)`.
+///
+/// The paper trains the band-wise flux CNN with this loss on stellar
+/// magnitudes.
+///
+/// # Panics
+///
+/// Panics if shapes differ or the tensors are empty.
+pub fn mse_loss(pred: &Tensor, target: &Tensor) -> (f32, Tensor) {
+    assert_eq!(pred.shape(), target.shape(), "mse_loss shape mismatch");
+    assert!(!pred.is_empty(), "mse_loss on empty tensors");
+    let n = pred.len() as f32;
+    let diff = pred - target;
+    let loss = diff.data().iter().map(|d| d * d).sum::<f32>() / n;
+    let grad = diff.map(|d| 2.0 * d / n);
+    (loss, grad)
+}
+
+/// Binary cross-entropy on logits with targets in `{0, 1}`:
+/// `L = mean( max(x,0) − x·t + ln(1 + e^{−|x|}) )`.
+///
+/// Numerically stable for large |logits|; the gradient is
+/// `(σ(x) − t) / N`.
+///
+/// # Panics
+///
+/// Panics if shapes differ, tensors are empty, or a target is outside
+/// `[0, 1]`.
+pub fn bce_with_logits(logits: &Tensor, targets: &Tensor) -> (f32, Tensor) {
+    assert_eq!(logits.shape(), targets.shape(), "bce shape mismatch");
+    assert!(!logits.is_empty(), "bce on empty tensors");
+    let n = logits.len() as f32;
+    let mut loss = 0.0f64;
+    for (&x, &t) in logits.data().iter().zip(targets.data()) {
+        assert!((0.0..=1.0).contains(&t), "bce target {t} outside [0, 1]");
+        loss += (x.max(0.0) - x * t + (1.0 + (-x.abs()).exp()).ln()) as f64;
+    }
+    let grad = logits.zip(targets, |x, t| (sigmoid(x) - t) / n);
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Softmax cross-entropy over the last axis of a `(N, C)` logits tensor
+/// with integer class labels.
+///
+/// Returns the mean loss and the gradient `(softmax − onehot)/N`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not 2-D, `labels.len() != N`, or a label is out of
+/// range.
+pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor) {
+    assert_eq!(logits.ndim(), 2, "softmax_cross_entropy expects (N, C)");
+    let (n, c) = (logits.shape()[0], logits.shape()[1]);
+    assert_eq!(labels.len(), n, "label count mismatch");
+    let mut grad = Tensor::zeros(vec![n, c]);
+    let mut loss = 0.0f64;
+    for i in 0..n {
+        let row = &logits.data()[i * c..(i + 1) * c];
+        let label = labels[i];
+        assert!(label < c, "label {label} out of range for {c} classes");
+        let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = row.iter().map(|&x| (x - m).exp()).collect();
+        let z: f32 = exps.iter().sum();
+        let log_z = z.ln() + m;
+        loss += (log_z - row[label]) as f64;
+        let g = &mut grad.data_mut()[i * c..(i + 1) * c];
+        for (j, gv) in g.iter_mut().enumerate() {
+            *gv = (exps[j] / z - if j == label { 1.0 } else { 0.0 }) / n as f32;
+        }
+    }
+    ((loss / n as f64) as f32, grad)
+}
+
+/// Applies the logistic sigmoid elementwise — convenience for turning
+/// classifier logits into probabilities at evaluation time.
+pub fn sigmoid_probs(logits: &Tensor) -> Tensor {
+    logits.map(sigmoid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gradcheck::check_loss_gradient;
+    use crate::init;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mse_zero_for_equal_inputs() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let (loss, grad) = mse_loss(&a, &a);
+        assert_eq!(loss, 0.0);
+        assert_eq!(grad.norm(), 0.0);
+    }
+
+    #[test]
+    fn mse_known_value() {
+        let y = Tensor::from_slice(&[1.0, 3.0]);
+        let t = Tensor::from_slice(&[0.0, 0.0]);
+        let (loss, _) = mse_loss(&y, &t);
+        assert!((loss - 5.0).abs() < 1e-6); // (1 + 9) / 2
+    }
+
+    #[test]
+    fn mse_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(80);
+        let t = init::randn_tensor(&mut rng, vec![4, 3], 1.0);
+        let x = init::randn_tensor(&mut rng, vec![4, 3], 1.0);
+        check_loss_gradient(|x| mse_loss(x, &t), &x, 1e-3, 1e-2);
+    }
+
+    #[test]
+    fn bce_is_stable_for_huge_logits() {
+        let x = Tensor::from_slice(&[1000.0, -1000.0]);
+        let t = Tensor::from_slice(&[1.0, 0.0]);
+        let (loss, grad) = bce_with_logits(&x, &t);
+        assert!(loss.is_finite() && loss < 1e-3);
+        assert!(grad.all_finite());
+    }
+
+    #[test]
+    fn bce_known_value_at_zero_logit() {
+        let x = Tensor::from_slice(&[0.0]);
+        let t = Tensor::from_slice(&[1.0]);
+        let (loss, _) = bce_with_logits(&x, &t);
+        assert!((loss - std::f32::consts::LN_2).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bce_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(81);
+        let x = init::randn_tensor(&mut rng, vec![6], 2.0);
+        let t = Tensor::from_slice(&[1.0, 0.0, 1.0, 0.0, 1.0, 0.0]);
+        check_loss_gradient(|x| bce_with_logits(x, &t), &x, 1e-3, 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bce_rejects_invalid_target() {
+        let x = Tensor::from_slice(&[0.0]);
+        let t = Tensor::from_slice(&[1.5]);
+        bce_with_logits(&x, &t);
+    }
+
+    #[test]
+    fn softmax_ce_prefers_correct_class() {
+        let good = Tensor::from_vec(vec![1, 3], vec![10.0, 0.0, 0.0]);
+        let bad = Tensor::from_vec(vec![1, 3], vec![0.0, 10.0, 0.0]);
+        let (l_good, _) = softmax_cross_entropy(&good, &[0]);
+        let (l_bad, _) = softmax_cross_entropy(&bad, &[0]);
+        assert!(l_good < 0.01 && l_bad > 5.0);
+    }
+
+    #[test]
+    fn softmax_ce_gradcheck() {
+        let mut rng = StdRng::seed_from_u64(82);
+        let x = init::randn_tensor(&mut rng, vec![3, 4], 1.0);
+        check_loss_gradient(|x| softmax_cross_entropy(x, &[0, 2, 3]), &x, 1e-3, 2e-2);
+    }
+
+    #[test]
+    fn softmax_grad_rows_sum_to_zero() {
+        let mut rng = StdRng::seed_from_u64(83);
+        let x = init::randn_tensor(&mut rng, vec![5, 3], 1.0);
+        let (_, grad) = softmax_cross_entropy(&x, &[0, 1, 2, 0, 1]);
+        for i in 0..5 {
+            assert!(grad.row(i).sum().abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn sigmoid_probs_in_unit_interval() {
+        let x = Tensor::from_slice(&[-5.0, 0.0, 5.0]);
+        let p = sigmoid_probs(&x);
+        assert!(p.min() > 0.0 && p.max() < 1.0);
+        assert!((p.data()[1] - 0.5).abs() < 1e-6);
+    }
+}

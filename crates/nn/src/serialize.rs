@@ -1,0 +1,281 @@
+//! Weight (de)serialisation.
+//!
+//! Networks are saved as a JSON list of named tensors. Loading copies values
+//! back into an architecturally identical network, matching by position and
+//! validating shapes — which is exactly what the paper's fine-tuning
+//! strategy needs (pre-train the parts, then load them into the joint
+//! model).
+
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use serde::{Deserialize, Serialize};
+
+use crate::layer::Param;
+use crate::net::Sequential;
+use crate::tensor::Tensor;
+
+/// A snapshot of network weights.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct Checkpoint {
+    /// `(name, shape, data)` triples in parameter order.
+    pub tensors: Vec<NamedTensor>,
+}
+
+/// One serialised tensor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NamedTensor {
+    /// Parameter name (e.g. `"weight"`).
+    pub name: String,
+    /// Tensor shape.
+    pub shape: Vec<usize>,
+    /// Row-major data.
+    pub data: Vec<f32>,
+}
+
+/// Errors produced when restoring a checkpoint.
+#[derive(Debug)]
+pub enum LoadError {
+    /// Parameter counts differ between network and checkpoint.
+    CountMismatch {
+        /// Parameters in the target network.
+        expected: usize,
+        /// Tensors in the checkpoint.
+        found: usize,
+    },
+    /// A tensor's shape differs from the corresponding parameter.
+    ShapeMismatch {
+        /// Position in the parameter list.
+        index: usize,
+        /// Shape expected by the network.
+        expected: Vec<usize>,
+        /// Shape found in the checkpoint.
+        found: Vec<usize>,
+    },
+    /// An I/O failure while reading or writing.
+    Io(io::Error),
+    /// Malformed JSON.
+    Json(serde_json::Error),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::CountMismatch { expected, found } => {
+                write!(f, "checkpoint has {found} tensors but the network has {expected} parameters")
+            }
+            LoadError::ShapeMismatch {
+                index,
+                expected,
+                found,
+            } => write!(
+                f,
+                "tensor {index} has shape {found:?} but the network expects {expected:?}"
+            ),
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::Json(e) => write!(f, "malformed checkpoint json: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            LoadError::Json(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for LoadError {
+    fn from(e: io::Error) -> Self {
+        LoadError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for LoadError {
+    fn from(e: serde_json::Error) -> Self {
+        LoadError::Json(e)
+    }
+}
+
+/// Captures the current weights of a network.
+pub fn snapshot(net: &Sequential) -> Checkpoint {
+    Checkpoint {
+        tensors: net
+            .params()
+            .iter()
+            .map(|p| NamedTensor {
+                name: p.name.clone(),
+                shape: p.value.shape().to_vec(),
+                data: p.value.data().to_vec(),
+            })
+            .collect(),
+    }
+}
+
+/// Captures weights from an explicit parameter list (for models that are
+/// not a single [`Sequential`], e.g. the joint model).
+pub fn snapshot_params(params: &[&Param]) -> Checkpoint {
+    Checkpoint {
+        tensors: params
+            .iter()
+            .map(|p| NamedTensor {
+                name: p.name.clone(),
+                shape: p.value.shape().to_vec(),
+                data: p.value.data().to_vec(),
+            })
+            .collect(),
+    }
+}
+
+/// Restores a checkpoint into a network with the same architecture.
+///
+/// # Errors
+///
+/// Returns [`LoadError::CountMismatch`] or [`LoadError::ShapeMismatch`] if
+/// the checkpoint does not fit the network.
+pub fn restore(net: &mut Sequential, ckpt: &Checkpoint) -> Result<(), LoadError> {
+    let mut params = net.params_mut();
+    restore_params(&mut params, ckpt)
+}
+
+/// Restores a checkpoint into an explicit parameter list.
+///
+/// # Errors
+///
+/// Returns [`LoadError::CountMismatch`] or [`LoadError::ShapeMismatch`] if
+/// the checkpoint does not fit.
+pub fn restore_params(params: &mut [&mut Param], ckpt: &Checkpoint) -> Result<(), LoadError> {
+    if params.len() != ckpt.tensors.len() {
+        return Err(LoadError::CountMismatch {
+            expected: params.len(),
+            found: ckpt.tensors.len(),
+        });
+    }
+    for (i, (p, t)) in params.iter().zip(&ckpt.tensors).enumerate() {
+        if p.value.shape() != t.shape.as_slice() {
+            return Err(LoadError::ShapeMismatch {
+                index: i,
+                expected: p.value.shape().to_vec(),
+                found: t.shape.clone(),
+            });
+        }
+    }
+    for (p, t) in params.iter_mut().zip(&ckpt.tensors) {
+        p.value = Tensor::from_vec(t.shape.clone(), t.data.clone());
+    }
+    Ok(())
+}
+
+/// Writes a checkpoint to a JSON file.
+///
+/// # Errors
+///
+/// Returns an error on I/O or serialisation failure.
+pub fn save_file(ckpt: &Checkpoint, path: impl AsRef<Path>) -> Result<(), LoadError> {
+    let json = serde_json::to_string(ckpt)?;
+    fs::write(path, json)?;
+    Ok(())
+}
+
+/// Reads a checkpoint from a JSON file.
+///
+/// # Errors
+///
+/// Returns an error on I/O failure or malformed JSON.
+pub fn load_file(path: impl AsRef<Path>) -> Result<Checkpoint, LoadError> {
+    let json = fs::read_to_string(path)?;
+    Ok(serde_json::from_str(&json)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{Linear, Relu};
+    use crate::Mode;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn net(seed: u64) -> Sequential {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut n = Sequential::new();
+        n.push(Linear::new(3, 4, &mut rng));
+        n.push(Relu::new());
+        n.push(Linear::new(4, 2, &mut rng));
+        n
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let mut a = net(1);
+        let mut b = net(2);
+        let x = Tensor::from_vec(vec![1, 3], vec![0.3, -0.2, 0.9]);
+        let ya = a.forward(&x, Mode::Eval);
+        let yb = b.forward(&x, Mode::Eval);
+        assert_ne!(ya, yb, "different seeds should differ");
+        restore(&mut b, &snapshot(&a)).unwrap();
+        let yb2 = b.forward(&x, Mode::Eval);
+        assert_eq!(ya, yb2);
+    }
+
+    #[test]
+    fn restore_rejects_count_mismatch() {
+        let a = net(1);
+        let mut small = Sequential::new();
+        let mut rng = StdRng::seed_from_u64(3);
+        small.push(Linear::new(3, 4, &mut rng));
+        let err = restore(&mut small, &snapshot(&a)).unwrap_err();
+        assert!(matches!(err, LoadError::CountMismatch { .. }));
+    }
+
+    #[test]
+    fn restore_rejects_shape_mismatch() {
+        let a = net(1);
+        let mut other = Sequential::new();
+        let mut rng = StdRng::seed_from_u64(4);
+        other.push(Linear::new(3, 5, &mut rng));
+        other.push(Relu::new());
+        other.push(Linear::new(5, 2, &mut rng));
+        let err = restore(&mut other, &snapshot(&a)).unwrap_err();
+        assert!(matches!(err, LoadError::ShapeMismatch { index: 0, .. }));
+    }
+
+    #[test]
+    fn restore_is_atomic_on_shape_error() {
+        // A failed restore must not partially overwrite weights.
+        let a = net(1);
+        let mut other = Sequential::new();
+        let mut rng = StdRng::seed_from_u64(5);
+        other.push(Linear::new(3, 4, &mut rng));
+        other.push(Relu::new());
+        other.push(Linear::new(4, 3, &mut rng)); // mismatched final layer
+        let before = snapshot(&other);
+        let _ = restore(&mut other, &snapshot(&a)).unwrap_err();
+        assert_eq!(snapshot(&other), before);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let a = net(7);
+        let ckpt = snapshot(&a);
+        let dir = std::env::temp_dir().join("snia_nn_serialize_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ckpt.json");
+        save_file(&ckpt, &path).unwrap();
+        let loaded = load_file(&path).unwrap();
+        assert_eq!(ckpt, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn load_error_display_is_informative() {
+        let e = LoadError::CountMismatch {
+            expected: 4,
+            found: 2,
+        };
+        assert!(e.to_string().contains("4"));
+    }
+}

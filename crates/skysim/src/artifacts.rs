@@ -1,0 +1,155 @@
+//! Detector and pipeline artifacts — the sources of "bogus" transient
+//! detections.
+//!
+//! The paper's related work (Section 2) explains that only ~0.1% of raw
+//! transient candidates are real: the rest come from failed subtraction
+//! (PSF/registration mismatch) and cosmic-ray hits. This module simulates
+//! those failure modes so the bogus-rejection extension can reproduce the
+//! real/bogus classification task of Bailey 2007 / Brink 2013 / Morii
+//! 2016.
+
+use rand::Rng;
+
+use crate::image::Image;
+
+/// Adds a cosmic-ray hit: a short, bright, sharp streak. Unlike a real
+/// point source it is not smeared by the PSF — the classic give-away.
+///
+/// # Panics
+///
+/// Panics if `peak` is not positive.
+pub fn add_cosmic_ray<R: Rng + ?Sized>(img: &mut Image, rng: &mut R, peak: f32) {
+    assert!(peak > 0.0, "cosmic-ray peak must be positive");
+    let (w, h) = (img.width(), img.height());
+    let x0 = rng.gen_range(5..w - 5) as f64;
+    let y0 = rng.gen_range(5..h - 5) as f64;
+    let angle = rng.gen_range(0.0..std::f64::consts::PI);
+    let length = rng.gen_range(2.0..7.0);
+    let (dx, dy) = (angle.cos(), angle.sin());
+    let steps = (length * 2.0) as usize + 1;
+    for i in 0..steps {
+        let t = i as f64 / 2.0;
+        let x = (x0 + dx * t).round();
+        let y = (y0 + dy * t).round();
+        if x >= 0.0 && y >= 0.0 && (x as usize) < w && (y as usize) < h {
+            let v = img.get(x as usize, y as usize);
+            // Sharp deposit with slight falloff along the track.
+            img.set(x as usize, y as usize, v + peak * (1.0 - 0.08 * i as f32));
+        }
+    }
+}
+
+/// Adds a hot pixel: a single-pixel spike (bad detector column/pixel that
+/// survives the reference subtraction).
+///
+/// # Panics
+///
+/// Panics if `peak` is not positive.
+pub fn add_hot_pixel<R: Rng + ?Sized>(img: &mut Image, rng: &mut R, peak: f32) {
+    assert!(peak > 0.0, "hot-pixel peak must be positive");
+    let x = rng.gen_range(3..img.width() - 3);
+    let y = rng.gen_range(3..img.height() - 3);
+    let v = img.get(x, y);
+    img.set(x, y, v + peak);
+}
+
+/// Sharpness statistic: the ratio of the brightest pixel to the summed
+/// flux of its 3×3 neighbourhood. Cosmic rays / hot pixels concentrate
+/// their energy in 1–2 pixels (ratio → 1); PSF-smeared real sources
+/// spread it (ratio ≪ 1). Useful both as a test oracle and as a classic
+/// hand-crafted feature.
+pub fn peak_sharpness(img: &Image) -> f32 {
+    let (w, h) = (img.width(), img.height());
+    let mut best = (1usize, 1usize);
+    let mut best_v = f32::NEG_INFINITY;
+    for y in 1..h - 1 {
+        for x in 1..w - 1 {
+            if img.get(x, y) > best_v {
+                best_v = img.get(x, y);
+                best = (x, y);
+            }
+        }
+    }
+    let (bx, by) = best;
+    let mut neighbourhood = 0.0;
+    for dy in -1i64..=1 {
+        for dx in -1i64..=1 {
+            neighbourhood += img
+                .get((bx as i64 + dx) as usize, (by as i64 + dy) as usize)
+                .max(0.0);
+        }
+    }
+    if neighbourhood <= 0.0 {
+        0.0
+    } else {
+        best_v.max(0.0) / neighbourhood
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::psf::Psf;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn cosmic_ray_adds_flux() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut img = Image::zeros(65, 65);
+        add_cosmic_ray(&mut img, &mut rng, 50.0);
+        assert!(img.sum() > 100.0);
+        assert!(img.max() >= 40.0);
+    }
+
+    #[test]
+    fn hot_pixel_is_single_pixel() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut img = Image::zeros(33, 33);
+        add_hot_pixel(&mut img, &mut rng, 30.0);
+        let nonzero = img.data().iter().filter(|&&v| v != 0.0).count();
+        assert_eq!(nonzero, 1);
+    }
+
+    #[test]
+    fn cosmic_ray_is_sharper_than_psf_source() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut cr = Image::zeros(65, 65);
+        add_cosmic_ray(&mut cr, &mut rng, 50.0);
+        let mut real = Image::zeros(65, 65);
+        Psf::Moffat { fwhm: 4.1, beta: 3.0 }.add_point_source(&mut real, 32.0, 32.0, 150.0);
+        assert!(
+            peak_sharpness(&cr) > peak_sharpness(&real) + 0.1,
+            "cr {} vs real {}",
+            peak_sharpness(&cr),
+            peak_sharpness(&real)
+        );
+    }
+
+    #[test]
+    fn hot_pixel_sharpness_is_extreme() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut img = Image::zeros(33, 33);
+        add_hot_pixel(&mut img, &mut rng, 30.0);
+        assert!(peak_sharpness(&img) > 0.9);
+    }
+
+    #[test]
+    fn artifacts_are_deterministic_per_seed() {
+        let mk = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut img = Image::zeros(65, 65);
+            add_cosmic_ray(&mut img, &mut rng, 40.0);
+            img
+        };
+        assert_eq!(mk(9), mk(9));
+        assert_ne!(mk(9), mk(10));
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn invalid_peak_panics() {
+        let mut rng = StdRng::seed_from_u64(5);
+        add_cosmic_ray(&mut Image::zeros(16, 16), &mut rng, 0.0);
+    }
+}

@@ -1,0 +1,251 @@
+//! A synthetic COSMOS-like galaxy catalog.
+//!
+//! Replaces the real COSMOS archive (images, spectra and catalogs of ~2 deg²
+//! of sky) with a generative model that preserves what the dataset builder
+//! needs: sky positions covering the field, a realistic photo-z
+//! distribution over `[0.1, 2.0]`, morphology (size, ellipticity, Sérsic
+//! index) and per-band apparent brightness that dims with redshift.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::sersic::Sersic;
+use crate::PIXEL_SCALE_ARCSEC;
+
+/// COSMOS field right-ascension range, degrees.
+pub const FIELD_RA_DEG: (f64, f64) = (149.4, 150.8);
+/// COSMOS field declination range, degrees.
+pub const FIELD_DEC_DEG: (f64, f64) = (1.5, 2.9);
+/// Photo-z selection window used by the paper.
+pub const PHOTO_Z_RANGE: (f64, f64) = (0.1, 2.0);
+
+/// One catalog galaxy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Galaxy {
+    /// Catalog identifier.
+    pub id: u64,
+    /// Right ascension, degrees.
+    pub ra_deg: f64,
+    /// Declination, degrees.
+    pub dec_deg: f64,
+    /// Photometric redshift.
+    pub photo_z: f64,
+    /// Half-light radius, arcseconds.
+    pub r_eff_arcsec: f64,
+    /// Minor/major axis ratio.
+    pub axis_ratio: f64,
+    /// Position angle, radians.
+    pub position_angle: f64,
+    /// Sérsic index (≈1 discs, ≈4 bulges).
+    pub sersic_index: f64,
+    /// Apparent i-band magnitude.
+    pub mag_i: f64,
+    /// Colour slope: per-band magnitude offset per 100 nm of wavelength
+    /// relative to the i band (positive = red galaxy).
+    pub color_slope: f64,
+}
+
+impl Galaxy {
+    /// Apparent magnitude in a band with the given effective wavelength.
+    pub fn mag_at(&self, wavelength_nm: f64) -> f64 {
+        self.mag_i + self.color_slope * (770.0 - wavelength_nm) / 100.0
+    }
+
+    /// Half-light radius in pixels.
+    pub fn r_eff_px(&self) -> f64 {
+        self.r_eff_arcsec / PIXEL_SCALE_ARCSEC
+    }
+
+    /// The Sérsic profile of this galaxy in pixel units.
+    pub fn profile(&self) -> Sersic {
+        Sersic {
+            index: self.sersic_index,
+            r_eff: self.r_eff_px(),
+            axis_ratio: self.axis_ratio,
+            position_angle: self.position_angle,
+        }
+    }
+}
+
+/// A synthetic galaxy catalog.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GalaxyCatalog {
+    galaxies: Vec<Galaxy>,
+}
+
+fn randn<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Draws a photo-z from a log-normal-like distribution peaked near z ≈ 0.7,
+/// truncated to the paper's `[0.1, 2.0]` window (rejection sampling).
+fn sample_photo_z<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    loop {
+        let z = (0.75 + 0.45 * randn(rng)) * rng.gen_range(0.8..1.2);
+        if (PHOTO_Z_RANGE.0..=PHOTO_Z_RANGE.1).contains(&z) {
+            return z;
+        }
+    }
+}
+
+impl GalaxyCatalog {
+    /// Generates a catalog of `n` galaxies with a deterministic seed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn generate(n: usize, seed: u64) -> Self {
+        assert!(n > 0, "catalog must contain at least one galaxy");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let galaxies = (0..n)
+            .map(|i| {
+                let photo_z = sample_photo_z(&mut rng);
+                // Apparent size shrinks with redshift (angular-diameter
+                // behaviour flattens past z ~ 1; a simple 1/(1+z) works).
+                let intrinsic = rng.gen_range(0.35..1.6);
+                let r_eff_arcsec = (intrinsic / (1.0 + photo_z)).max(0.15);
+                // Magnitude-limited survey: higher-z galaxies are fainter.
+                let mag_i = (21.0 + 1.8 * photo_z + 0.8 * randn(&mut rng)).clamp(18.5, 25.0);
+                let sersic_index = if rng.gen::<f64>() < 0.7 {
+                    (1.0 + 0.2 * randn(&mut rng)).clamp(0.6, 2.0)
+                } else {
+                    (4.0 + 0.5 * randn(&mut rng)).clamp(2.5, 5.5)
+                };
+                Galaxy {
+                    id: i as u64,
+                    ra_deg: rng.gen_range(FIELD_RA_DEG.0..FIELD_RA_DEG.1),
+                    dec_deg: rng.gen_range(FIELD_DEC_DEG.0..FIELD_DEC_DEG.1),
+                    photo_z,
+                    r_eff_arcsec,
+                    axis_ratio: rng.gen_range(0.3..1.0),
+                    position_angle: rng.gen_range(0.0..std::f64::consts::PI),
+                    sersic_index,
+                    mag_i,
+                    color_slope: 0.15 + 0.1 * randn(&mut rng),
+                }
+            })
+            .collect();
+        GalaxyCatalog { galaxies }
+    }
+
+    /// The galaxies in the catalog.
+    pub fn galaxies(&self) -> &[Galaxy] {
+        &self.galaxies
+    }
+
+    /// Number of galaxies.
+    pub fn len(&self) -> usize {
+        self.galaxies.len()
+    }
+
+    /// Whether the catalog is empty (never true for generated catalogs).
+    pub fn is_empty(&self) -> bool {
+        self.galaxies.is_empty()
+    }
+
+    /// A uniformly random galaxy.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> &Galaxy {
+        &self.galaxies[rng.gen_range(0..self.galaxies.len())]
+    }
+
+    /// Histogram of photo-z values with `bins` equal-width bins over the
+    /// catalog window — used to regenerate Figure 3 (right).
+    pub fn photo_z_histogram(&self, bins: usize) -> Vec<usize> {
+        assert!(bins > 0, "bins must be positive");
+        let (lo, hi) = PHOTO_Z_RANGE;
+        let mut hist = vec![0usize; bins];
+        for g in &self.galaxies {
+            let f = ((g.photo_z - lo) / (hi - lo)).clamp(0.0, 1.0 - 1e-12);
+            hist[(f * bins as f64) as usize] += 1;
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = GalaxyCatalog::generate(100, 7);
+        let b = GalaxyCatalog::generate(100, 7);
+        assert_eq!(a, b);
+        let c = GalaxyCatalog::generate(100, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn all_galaxies_within_field_and_z_window() {
+        let cat = GalaxyCatalog::generate(2000, 1);
+        for g in cat.galaxies() {
+            assert!((FIELD_RA_DEG.0..FIELD_RA_DEG.1).contains(&g.ra_deg));
+            assert!((FIELD_DEC_DEG.0..FIELD_DEC_DEG.1).contains(&g.dec_deg));
+            assert!((PHOTO_Z_RANGE.0..=PHOTO_Z_RANGE.1).contains(&g.photo_z));
+            assert!(g.r_eff_arcsec > 0.0);
+            assert!((0.3..1.0).contains(&g.axis_ratio));
+        }
+    }
+
+    #[test]
+    fn photo_z_distribution_peaks_mid_range() {
+        let cat = GalaxyCatalog::generate(20_000, 2);
+        let hist = cat.photo_z_histogram(10);
+        let peak_bin = hist
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap();
+        // Peak should be somewhere in z ≈ 0.4–1.0 (bins 1..=4).
+        assert!((1..=4).contains(&peak_bin), "peak bin {peak_bin}: {hist:?}");
+        // Both tails populated.
+        assert!(hist[0] > 0 && hist[9] > 0);
+    }
+
+    #[test]
+    fn higher_z_galaxies_are_fainter_on_average() {
+        let cat = GalaxyCatalog::generate(10_000, 3);
+        let (mut low, mut high) = (Vec::new(), Vec::new());
+        for g in cat.galaxies() {
+            if g.photo_z < 0.6 {
+                low.push(g.mag_i);
+            } else if g.photo_z > 1.2 {
+                high.push(g.mag_i);
+            }
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        assert!(mean(&high) > mean(&low) + 0.5);
+    }
+
+    #[test]
+    fn mag_at_reflects_color_slope() {
+        let cat = GalaxyCatalog::generate(10, 4);
+        let g = &cat.galaxies()[0];
+        if g.color_slope > 0.0 {
+            assert!(g.mag_at(480.0) > g.mag_at(1000.0));
+        } else {
+            assert!(g.mag_at(480.0) <= g.mag_at(1000.0));
+        }
+        assert!((g.mag_at(770.0) - g.mag_i).abs() < 1e-12);
+    }
+
+    #[test]
+    fn profile_uses_pixel_units() {
+        let cat = GalaxyCatalog::generate(10, 5);
+        let g = &cat.galaxies()[0];
+        let p = g.profile();
+        assert!((p.r_eff - g.r_eff_arcsec / PIXEL_SCALE_ARCSEC).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_draws_member() {
+        let cat = GalaxyCatalog::generate(50, 6);
+        let mut rng = StdRng::seed_from_u64(0);
+        let g = cat.sample(&mut rng);
+        assert!(cat.galaxies().iter().any(|x| x.id == g.id));
+    }
+}

@@ -1,0 +1,130 @@
+//! Per-epoch observing conditions.
+//!
+//! The paper "simulated fluctuations in observation conditions such as
+//! weathers by using the images of the same galaxy taken on different
+//! days". Here the fluctuations are explicit: each epoch draws its own
+//! seeing, transparency and sky-noise level, so the reference and
+//! observation images of a pair never match exactly — which is what makes
+//! difference imaging (and therefore flux estimation) non-trivial.
+
+// The simulator is independent of snia-lightcurve: bands are identified by
+// their wavelength-order index (0 = g … 4 = y), matching
+// `snia_lightcurve::Band::index`, so the simulator could be reused with a
+// different filter set.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Observing conditions for one exposure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ObservingConditions {
+    /// PSF full width at half maximum, in pixels.
+    pub seeing_fwhm_px: f64,
+    /// Atmospheric transparency in `(0, 1]`; multiplies all fluxes.
+    pub transparency: f64,
+    /// Gaussian sky-noise standard deviation, counts per pixel.
+    pub sky_sigma: f64,
+}
+
+/// Baseline per-band sky noise (counts/pixel): redder bands are brighter
+/// (airglow), hence noisier.
+const BASE_SKY_SIGMA: [f64; 5] = [0.06, 0.07, 0.09, 0.12, 0.18];
+
+impl ObservingConditions {
+    /// Samples conditions for one epoch in the band with index
+    /// `band_index` (0 = g … 4 = y, wavelength order).
+    ///
+    /// Seeing is log-normal around 0.7″ (≈ 4.1 px at 0.17″/px);
+    /// transparency is usually near 1 with occasional thin cloud; sky noise
+    /// scales from the per-band baseline.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `band_index >= 5`.
+    pub fn sample<R: Rng + ?Sized>(rng: &mut R, band_index: usize) -> Self {
+        assert!(band_index < 5, "band index out of range");
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let seeing_arcsec = (0.7 * (0.18 * n).exp()).clamp(0.45, 1.6);
+        let seeing_fwhm_px = seeing_arcsec / crate::PIXEL_SCALE_ARCSEC;
+        let transparency = if rng.gen::<f64>() < 0.85 {
+            rng.gen_range(0.92..1.0)
+        } else {
+            rng.gen_range(0.6..0.92) // thin clouds
+        };
+        let sky_sigma = BASE_SKY_SIGMA[band_index] * rng.gen_range(0.8..1.6);
+        ObservingConditions {
+            seeing_fwhm_px,
+            transparency,
+            sky_sigma,
+        }
+    }
+
+    /// Fixed nominal conditions (median seeing, perfect transparency),
+    /// useful for deterministic tests.
+    pub fn nominal(band_index: usize) -> Self {
+        assert!(band_index < 5, "band index out of range");
+        ObservingConditions {
+            seeing_fwhm_px: 0.7 / crate::PIXEL_SCALE_ARCSEC,
+            transparency: 1.0,
+            sky_sigma: BASE_SKY_SIGMA[band_index],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn sampled_conditions_are_physical() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..2000 {
+            for b in 0..5 {
+                let c = ObservingConditions::sample(&mut rng, b);
+                assert!(c.seeing_fwhm_px > 2.0 && c.seeing_fwhm_px < 10.0);
+                assert!(c.transparency > 0.5 && c.transparency <= 1.0);
+                assert!(c.sky_sigma > 0.02 && c.sky_sigma < 0.5);
+            }
+        }
+    }
+
+    #[test]
+    fn red_bands_are_noisier_on_average() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mean_sigma = |b: usize, rng: &mut StdRng| {
+            (0..2000)
+                .map(|_| ObservingConditions::sample(rng, b).sky_sigma)
+                .sum::<f64>()
+                / 2000.0
+        };
+        let g = mean_sigma(0, &mut rng);
+        let y = mean_sigma(4, &mut rng);
+        assert!(y > 2.0 * g, "y-band sky {y} vs g-band {g}");
+    }
+
+    #[test]
+    fn epochs_differ() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let a = ObservingConditions::sample(&mut rng, 2);
+        let b = ObservingConditions::sample(&mut rng, 2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn nominal_is_deterministic() {
+        assert_eq!(
+            ObservingConditions::nominal(1),
+            ObservingConditions::nominal(1)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "band index")]
+    fn invalid_band_panics() {
+        ObservingConditions::nominal(5);
+    }
+}

@@ -1,0 +1,51 @@
+//! # snia-skysim
+//!
+//! A synthetic sky-survey image simulator — the substrate that replaces the
+//! COSMOS galaxy catalog and the Subaru/HSC image archive the paper built
+//! its dataset from.
+//!
+//! Provided pieces:
+//!
+//! * [`catalog`] — a COSMOS-like synthetic galaxy catalog over a 2 deg²
+//!   footprint with photo-z in `[0.1, 2.0]`, morphology (Sérsic index, size,
+//!   ellipticity, position angle) and per-band brightness.
+//! * [`psf`] — Gaussian and Moffat point-spread functions with sub-pixel
+//!   centroids.
+//! * [`sersic`] — elliptical Sérsic surface-brightness profiles.
+//! * [`conditions`] — per-epoch observing conditions (seeing, transparency,
+//!   sky noise), the "weather" the paper simulates by using images of the
+//!   same galaxy from different nights.
+//! * [`render`] — the cutout pipeline: galaxy + optional point source +
+//!   noise → a 65×65 postage stamp, and reference/observation pairs.
+//! * [`image`] — the minimal `f32` image type with PGM/ASCII export for the
+//!   Figure-5-style visual checks.
+//!
+//! The one deliberate approximation: the galaxy profile is broadened by the
+//! seeing in quadrature (`Re_eff² = Re² + σ_psf²`) instead of an explicit
+//! 2-D convolution, which keeps on-demand rendering fast enough to generate
+//! the dataset lazily. The supernova itself — the signal the CNN measures —
+//! is rendered *exactly* as a PSF at its sub-pixel position. Because the
+//! reference and observation epochs get different seeing, image subtraction
+//! still produces the realistic galaxy-residual artifacts that make flux
+//! estimation hard.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod artifacts;
+pub mod catalog;
+pub mod conditions;
+pub mod image;
+pub mod photometry;
+pub mod psf;
+pub mod render;
+pub mod sersic;
+
+pub use catalog::{Galaxy, GalaxyCatalog};
+pub use conditions::ObservingConditions;
+pub use image::Image;
+pub use psf::Psf;
+pub use render::{render_cutout, CutoutSpec, STAMP_SIZE};
+
+/// Pixel scale of the simulated camera, arcseconds per pixel (HSC-like).
+pub const PIXEL_SCALE_ARCSEC: f64 = 0.17;

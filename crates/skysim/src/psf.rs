@@ -1,0 +1,185 @@
+//! Point-spread functions.
+
+use serde::{Deserialize, Serialize};
+
+use crate::image::Image;
+
+/// A point-spread function model.
+///
+/// Real survey PSFs are closer to Moffat profiles (Gaussian core with
+/// power-law wings); the Gaussian variant is kept for tests and fast paths.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Psf {
+    /// Circular Gaussian with the given full width at half maximum
+    /// (pixels).
+    Gaussian {
+        /// FWHM in pixels.
+        fwhm: f64,
+    },
+    /// Circular Moffat profile with FWHM (pixels) and concentration `beta`
+    /// (atmospheric seeing is typically `beta ≈ 3`).
+    Moffat {
+        /// FWHM in pixels.
+        fwhm: f64,
+        /// Power-law index; larger is more Gaussian-like.
+        beta: f64,
+    },
+}
+
+impl Psf {
+    /// The FWHM in pixels.
+    pub fn fwhm(&self) -> f64 {
+        match *self {
+            Psf::Gaussian { fwhm } => fwhm,
+            Psf::Moffat { fwhm, .. } => fwhm,
+        }
+    }
+
+    /// The Gaussian-equivalent sigma in pixels (`fwhm / 2.3548`).
+    pub fn sigma(&self) -> f64 {
+        self.fwhm() / 2.354_820_045
+    }
+
+    /// Unnormalised profile value at radius-squared `r2` (pixels²).
+    fn profile(&self, r2: f64) -> f64 {
+        match *self {
+            Psf::Gaussian { .. } => {
+                let s2 = self.sigma().powi(2);
+                (-0.5 * r2 / s2).exp()
+            }
+            Psf::Moffat { fwhm, beta } => {
+                // alpha from FWHM: fwhm = 2α·sqrt(2^{1/β} − 1)
+                let alpha = fwhm / (2.0 * (2f64.powf(1.0 / beta) - 1.0).sqrt());
+                (1.0 + r2 / (alpha * alpha)).powf(-beta)
+            }
+        }
+    }
+
+    /// Renders a point source of total flux `flux` centred at the sub-pixel
+    /// position `(cx, cy)` into `img`, adding to existing pixel values.
+    ///
+    /// The profile is normalised numerically over the stamp so the injected
+    /// counts sum to `flux` (up to stamp-edge truncation, which is < 1% for
+    /// sources within the stamp and typical seeing).
+    pub fn add_point_source(&self, img: &mut Image, cx: f64, cy: f64, flux: f64) {
+        let (w, h) = (img.width(), img.height());
+        // Evaluate on the full stamp; PSFs are compact so this is cheap
+        // relative to rendering the galaxy.
+        let mut weights = vec![0.0f64; w * h];
+        let mut total = 0.0f64;
+        // Limit evaluation to a generous support radius for speed.
+        let support = (self.fwhm() * 5.0).max(6.0);
+        let x_lo = ((cx - support).floor().max(0.0)) as usize;
+        let x_hi = ((cx + support).ceil().min((w - 1) as f64)) as usize;
+        let y_lo = ((cy - support).floor().max(0.0)) as usize;
+        let y_hi = ((cy + support).ceil().min((h - 1) as f64)) as usize;
+        for y in y_lo..=y_hi {
+            for x in x_lo..=x_hi {
+                let dx = x as f64 - cx;
+                let dy = y as f64 - cy;
+                let v = self.profile(dx * dx + dy * dy);
+                weights[y * w + x] = v;
+                total += v;
+            }
+        }
+        if total <= 0.0 {
+            return; // source entirely off-stamp
+        }
+        let scale = flux / total;
+        for (p, &wgt) in img.data_mut().iter_mut().zip(&weights) {
+            if wgt > 0.0 {
+                *p += (wgt * scale) as f32;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn injected_flux_is_conserved() {
+        for psf in [
+            Psf::Gaussian { fwhm: 3.5 },
+            Psf::Moffat { fwhm: 3.5, beta: 3.0 },
+        ] {
+            let mut img = Image::zeros(65, 65);
+            psf.add_point_source(&mut img, 32.0, 32.0, 100.0);
+            let total = img.sum();
+            assert!((total - 100.0).abs() < 1.0, "{psf:?}: total {total}");
+        }
+    }
+
+    #[test]
+    fn peak_is_at_center() {
+        let psf = Psf::Moffat { fwhm: 4.0, beta: 3.0 };
+        let mut img = Image::zeros(33, 33);
+        psf.add_point_source(&mut img, 16.0, 16.0, 50.0);
+        let peak = img.get(16, 16);
+        assert_eq!(peak, img.max());
+        assert!(peak > 0.0);
+    }
+
+    #[test]
+    fn subpixel_shift_moves_centroid() {
+        let psf = Psf::Gaussian { fwhm: 3.0 };
+        let centroid_x = |cx: f64| {
+            let mut img = Image::zeros(33, 33);
+            psf.add_point_source(&mut img, cx, 16.0, 10.0);
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for y in 0..33 {
+                for x in 0..33 {
+                    let v = img.get(x, y) as f64;
+                    num += v * x as f64;
+                    den += v;
+                }
+            }
+            num / den
+        };
+        let a = centroid_x(16.0);
+        let b = centroid_x(16.4);
+        assert!((b - a - 0.4).abs() < 0.05, "centroid moved {}", b - a);
+    }
+
+    #[test]
+    fn fwhm_is_respected() {
+        // At r = fwhm/2 the Gaussian profile is half the peak.
+        let psf = Psf::Gaussian { fwhm: 4.0 };
+        let half = psf.profile(4.0); // r = 2 px
+        let peak = psf.profile(0.0);
+        assert!((half / peak - 0.5).abs() < 1e-6);
+        // Moffat as well, by construction of alpha.
+        let moffat = Psf::Moffat { fwhm: 4.0, beta: 3.0 };
+        let ratio = moffat.profile(4.0) / moffat.profile(0.0);
+        assert!((ratio - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn moffat_has_heavier_wings_than_gaussian() {
+        let g = Psf::Gaussian { fwhm: 4.0 };
+        let m = Psf::Moffat { fwhm: 4.0, beta: 3.0 };
+        let r2 = 64.0; // r = 8 px = 2 fwhm
+        assert!(m.profile(r2) / m.profile(0.0) > g.profile(r2) / g.profile(0.0));
+    }
+
+    #[test]
+    fn off_stamp_source_is_noop() {
+        let psf = Psf::Gaussian { fwhm: 3.0 };
+        let mut img = Image::zeros(16, 16);
+        psf.add_point_source(&mut img, -100.0, -100.0, 10.0);
+        assert_eq!(img.sum(), 0.0);
+    }
+
+    #[test]
+    fn wider_seeing_lowers_peak() {
+        let sharp = Psf::Moffat { fwhm: 3.0, beta: 3.0 };
+        let blurry = Psf::Moffat { fwhm: 6.0, beta: 3.0 };
+        let mut a = Image::zeros(33, 33);
+        let mut b = Image::zeros(33, 33);
+        sharp.add_point_source(&mut a, 16.0, 16.0, 100.0);
+        blurry.add_point_source(&mut b, 16.0, 16.0, 100.0);
+        assert!(a.max() > b.max());
+    }
+}

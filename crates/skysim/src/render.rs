@@ -1,0 +1,284 @@
+//! The postage-stamp rendering pipeline.
+//!
+//! One rendered cutout = galaxy (Sérsic, seeing-broadened) + optional
+//! supernova (exact PSF at sub-pixel position) + sky and shot noise, all
+//! scaled by the epoch's transparency. Reference images are the same
+//! pipeline with `sn_flux = 0` under their own (different) conditions.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::conditions::ObservingConditions;
+use crate::image::Image;
+use crate::psf::Psf;
+use crate::sersic::Sersic;
+
+/// Postage-stamp side length in pixels (the paper crops 65×65 regions).
+pub const STAMP_SIZE: usize = 65;
+
+/// Shot-noise variance per count (inverse effective gain).
+const SHOT_NOISE_FACTOR: f64 = 0.02;
+
+/// Everything needed to render one cutout deterministically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CutoutSpec {
+    /// Galaxy profile in pixel units (before seeing broadening).
+    pub galaxy_index: f64,
+    /// Galaxy half-light radius, pixels.
+    pub galaxy_r_eff_px: f64,
+    /// Galaxy axis ratio.
+    pub galaxy_axis_ratio: f64,
+    /// Galaxy position angle, radians.
+    pub galaxy_position_angle: f64,
+    /// Total galaxy flux, counts (before transparency).
+    pub galaxy_flux: f64,
+    /// Galaxy centre x (pixels, sub-pixel).
+    pub galaxy_cx: f64,
+    /// Galaxy centre y (pixels, sub-pixel).
+    pub galaxy_cy: f64,
+    /// Supernova centre x (pixels, sub-pixel).
+    pub sn_cx: f64,
+    /// Supernova centre y (pixels, sub-pixel).
+    pub sn_cy: f64,
+    /// Supernova flux, counts (before transparency); `0` renders a
+    /// reference image.
+    pub sn_flux: f64,
+    /// This epoch's observing conditions.
+    pub conditions: ObservingConditions,
+    /// Seed for the noise field (deterministic re-rendering).
+    pub noise_seed: u64,
+}
+
+impl CutoutSpec {
+    /// The Sérsic profile implied by the spec.
+    pub fn profile(&self) -> Sersic {
+        Sersic {
+            index: self.galaxy_index,
+            r_eff: self.galaxy_r_eff_px,
+            axis_ratio: self.galaxy_axis_ratio,
+            position_angle: self.galaxy_position_angle,
+        }
+    }
+}
+
+/// Renders a `STAMP_SIZE`² cutout from a spec.
+///
+/// Deterministic: the same spec always produces the same image.
+///
+/// # Panics
+///
+/// Panics if fluxes are negative or the conditions are unphysical.
+pub fn render_cutout(spec: &CutoutSpec) -> Image {
+    assert!(spec.galaxy_flux >= 0.0 && spec.sn_flux >= 0.0, "negative flux");
+    assert!(spec.conditions.seeing_fwhm_px > 0.0, "invalid seeing");
+    let mut img = Image::zeros(STAMP_SIZE, STAMP_SIZE);
+    let t = spec.conditions.transparency;
+    let seeing_sigma = spec.conditions.seeing_fwhm_px / 2.354_820_045;
+
+    if spec.galaxy_flux > 0.0 {
+        spec.profile().render(
+            &mut img,
+            spec.galaxy_cx,
+            spec.galaxy_cy,
+            spec.galaxy_flux * t,
+            seeing_sigma,
+        );
+    }
+    if spec.sn_flux > 0.0 {
+        let psf = Psf::Moffat {
+            fwhm: spec.conditions.seeing_fwhm_px,
+            beta: 3.0,
+        };
+        psf.add_point_source(&mut img, spec.sn_cx, spec.sn_cy, spec.sn_flux * t);
+    }
+
+    // Sky + shot noise, deterministic per seed.
+    let mut rng = StdRng::seed_from_u64(spec.noise_seed);
+    let sky2 = spec.conditions.sky_sigma * spec.conditions.sky_sigma;
+    for p in img.data_mut() {
+        let var = sky2 + SHOT_NOISE_FACTOR * f64::from(p.max(0.0));
+        let u1: f64 = 1.0 - rng.gen::<f64>();
+        let u2: f64 = rng.gen::<f64>();
+        let n = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        *p += (var.sqrt() * n) as f32;
+    }
+
+    // Photometric calibration: survey pipelines solve the flux scaling
+    // between epochs before subtraction, so cutouts are delivered in
+    // calibrated counts. Dividing by the transparency restores the true
+    // flux scale and amplifies the noise by 1/t — exactly what calibrated
+    // cloudy-night data looks like. Without this step a few percent of
+    // transparency mismatch leaves galaxy-sized residuals that swamp the
+    // supernova in the difference image.
+    let inv_t = (1.0 / t) as f32;
+    for p in img.data_mut() {
+        *p *= inv_t;
+    }
+    img
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_spec() -> CutoutSpec {
+        CutoutSpec {
+            galaxy_index: 1.0,
+            galaxy_r_eff_px: 5.0,
+            galaxy_axis_ratio: 0.7,
+            galaxy_position_angle: 0.3,
+            galaxy_flux: 800.0,
+            galaxy_cx: 32.0,
+            galaxy_cy: 32.0,
+            sn_cx: 35.0,
+            sn_cy: 30.0,
+            sn_flux: 0.0,
+            conditions: ObservingConditions::nominal(2),
+            noise_seed: 42,
+        }
+    }
+
+    #[test]
+    fn rendering_is_deterministic() {
+        let spec = base_spec();
+        assert_eq!(render_cutout(&spec), render_cutout(&spec));
+    }
+
+    #[test]
+    fn different_noise_seed_changes_image() {
+        let a = render_cutout(&base_spec());
+        let b = render_cutout(&CutoutSpec {
+            noise_seed: 43,
+            ..base_spec()
+        });
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn total_flux_is_approximately_conserved() {
+        let spec = CutoutSpec {
+            sn_flux: 200.0,
+            ..base_spec()
+        };
+        let img = render_cutout(&spec);
+        // noise is zero-mean; total ≈ 800 + 200 in calibrated counts
+        let total = img.sum() as f64;
+        assert!((total - 1000.0).abs() < 60.0, "total {total}");
+    }
+
+    #[test]
+    fn calibration_preserves_flux_but_amplifies_noise() {
+        // After photometric calibration a cloudy epoch reports the same
+        // total flux as a clear one, at the cost of a noisier image.
+        let clear_cond = ObservingConditions::nominal(2);
+        let cloudy_cond = ObservingConditions {
+            transparency: 0.6,
+            ..clear_cond
+        };
+        let clear = render_cutout(&base_spec());
+        let cloudy = render_cutout(&CutoutSpec {
+            conditions: cloudy_cond,
+            ..base_spec()
+        });
+        let ratio = cloudy.sum() as f64 / clear.sum() as f64;
+        assert!((ratio - 1.0).abs() < 0.1, "calibrated flux ratio {ratio}");
+        // Noise: compare empty-corner pixel spread.
+        let spread = |img: &Image| {
+            let mut vals: Vec<f32> = (0..12)
+                .flat_map(|y| (0..12).map(move |x| (x, y)))
+                .map(|(x, y)| img.get(x, y))
+                .collect();
+            vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            vals[vals.len() - 1] - vals[0]
+        };
+        assert!(spread(&cloudy) > spread(&clear), "cloudy should be noisier");
+    }
+
+    #[test]
+    fn difference_image_isolates_supernova() {
+        // Same conditions, same noise seedless galaxy ⇒ diff shows the SN
+        // at its position.
+        let reference = render_cutout(&CutoutSpec {
+            noise_seed: 1,
+            ..base_spec()
+        });
+        let observation = render_cutout(&CutoutSpec {
+            sn_flux: 300.0,
+            noise_seed: 2,
+            ..base_spec()
+        });
+        let diff = observation.subtract(&reference);
+        // Peak of the difference should be near the SN position (35, 30).
+        let mut best = (0usize, 0usize);
+        let mut best_v = f32::NEG_INFINITY;
+        for y in 0..STAMP_SIZE {
+            for x in 0..STAMP_SIZE {
+                if diff.get(x, y) > best_v {
+                    best_v = diff.get(x, y);
+                    best = (x, y);
+                }
+            }
+        }
+        let (bx, by) = best;
+        assert!(
+            (bx as f64 - 35.0).abs() <= 2.0 && (by as f64 - 30.0).abs() <= 2.0,
+            "difference peak at {best:?}"
+        );
+        // And most of the SN flux is recovered in the diff.
+        assert!((diff.sum() as f64 - 300.0).abs() < 60.0);
+    }
+
+    #[test]
+    fn seeing_mismatch_leaves_galaxy_residuals() {
+        // Different seeing between ref and obs (no SN) ⇒ non-trivial
+        // structured residuals: the "fake transient" failure mode the
+        // paper describes.
+        let sharp = render_cutout(&CutoutSpec {
+            conditions: ObservingConditions {
+                seeing_fwhm_px: 3.0,
+                transparency: 1.0,
+                sky_sigma: 0.0,
+            },
+            noise_seed: 1,
+            ..base_spec()
+        });
+        let soft = render_cutout(&CutoutSpec {
+            conditions: ObservingConditions {
+                seeing_fwhm_px: 6.0,
+                transparency: 1.0,
+                sky_sigma: 0.0,
+            },
+            noise_seed: 2,
+            ..base_spec()
+        });
+        let diff = sharp.subtract(&soft);
+        // Residual structure well above zero even though no SN was added.
+        assert!(diff.max() > 0.5, "residual peak {}", diff.max());
+        // But net flux is ~zero (same total, different shape).
+        assert!((diff.sum() as f64).abs() < 10.0);
+    }
+
+    #[test]
+    fn reference_image_has_no_point_source() {
+        let noiseless_ref = render_cutout(&CutoutSpec {
+            conditions: ObservingConditions {
+                sky_sigma: 0.0,
+                ..ObservingConditions::nominal(2)
+            },
+            ..base_spec()
+        });
+        // Galaxy only: smooth profile, peak at the galaxy centre.
+        let peak_px = noiseless_ref.get(32, 32);
+        assert!(peak_px >= noiseless_ref.get(35, 30));
+    }
+
+    #[test]
+    #[should_panic(expected = "negative flux")]
+    fn negative_flux_panics() {
+        render_cutout(&CutoutSpec {
+            sn_flux: -1.0,
+            ..base_spec()
+        });
+    }
+}

@@ -1,0 +1,84 @@
+//! Baseline comparison: run the Table 2 baselines on a small dataset and
+//! compare against the proposed feature classifier.
+//!
+//! ```sh
+//! cargo run --release --example baseline_comparison
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snia_repro::baselines::lochner::LochnerPipeline;
+use snia_repro::baselines::poznanski::{epoch_observations, PoznanskiClassifier, PoznanskiConfig};
+use snia_repro::baselines::random_forest::ForestConfig;
+use snia_repro::core::classifier::LightCurveClassifier;
+use snia_repro::core::eval::auc;
+use snia_repro::core::train::{
+    classifier_scores, feature_matrix, train_classifier, ClassifierTrainConfig,
+};
+use snia_repro::dataset::{split_indices, Dataset, DatasetConfig};
+
+fn main() {
+    let ds = Dataset::generate(&DatasetConfig {
+        n_samples: 300,
+        catalog_size: 1200,
+        seed: 77,
+    });
+    let (train, val, test) = split_indices(ds.len(), 77);
+    let test_labels: Vec<bool> = test.iter().map(|&i| ds.samples[i].is_ia()).collect();
+
+    // --- Poznanski 2007: Bayesian single-epoch (epoch 0 of each sample) ---
+    println!("Poznanski2007 (Bayesian, single epoch)...");
+    let poz = PoznanskiClassifier::new(PoznanskiConfig::default());
+    let scores_z: Vec<f64> = test
+        .iter()
+        .map(|&i| {
+            let s = &ds.samples[i];
+            poz.classify(&epoch_observations(s, 0), Some(s.sn.redshift))
+        })
+        .collect();
+    let scores_noz: Vec<f64> = test
+        .iter()
+        .map(|&i| poz.classify(&epoch_observations(&ds.samples[i], 0), None))
+        .collect();
+    println!("  with redshift   : AUC {:.3}", auc(&scores_z, &test_labels));
+    println!("  without redshift: AUC {:.3}", auc(&scores_noz, &test_labels));
+
+    // --- Lochner 2016: template fits + random forest, 4 epochs ---
+    println!("\nLochner2016 (template fits + random forest, 4 epochs)...");
+    let pipe = LochnerPipeline::fit(
+        &ds,
+        &train,
+        4,
+        true,
+        &ForestConfig {
+            n_trees: 60,
+            ..Default::default()
+        },
+    );
+    let rf_scores = pipe.score(&ds, &test);
+    println!("  with redshift   : AUC {:.3}", auc(&rf_scores, &test_labels));
+
+    // --- Proposed: highway classifier on single-epoch features ---
+    println!("\nProposed (single-epoch highway classifier)...");
+    let (xt, tt, _) = feature_matrix(&ds, &train, 1);
+    let (xv, tv, _) = feature_matrix(&ds, &val, 1);
+    let (xe, _, labels_se) = feature_matrix(&ds, &test, 1);
+    let mut rng = StdRng::seed_from_u64(5);
+    let mut clf = LightCurveClassifier::new(1, 100, &mut rng);
+    train_classifier(
+        &mut clf,
+        (&xt, &tt),
+        (&xv, &tv),
+        &ClassifierTrainConfig {
+            epochs: 25,
+            batch_size: 64,
+            lr: 3e-3,
+            seed: 6,
+        },
+    );
+    let scores = classifier_scores(&mut clf, &xe);
+    println!("  without redshift: AUC {:.3}", auc(&scores, &labels_se));
+
+    println!("\n(the table2 bench runs this comparison at full scale with all variants)");
+}

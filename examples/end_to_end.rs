@@ -1,0 +1,116 @@
+//! End-to-end: the paper's full pipeline in miniature.
+//!
+//! 1. Pre-train the band-wise flux CNN (image pairs → magnitude).
+//! 2. Pre-train the highway classifier (light-curve features → SNIa?).
+//! 3. Assemble the joint model and fine-tune it end-to-end.
+//! 4. Classify supernovae directly from telescope images.
+//!
+//! ```sh
+//! cargo run --release --example end_to_end
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snia_repro::core::classifier::LightCurveClassifier;
+use snia_repro::core::eval::auc;
+use snia_repro::core::flux_cnn::{FluxCnn, PoolKind};
+use snia_repro::core::joint::JointModel;
+use snia_repro::core::train::{
+    feature_matrix, flux_pair_refs, joint_scores, train_classifier, train_flux_cnn, train_joint,
+    ClassifierTrainConfig, FluxTrainConfig, JointExample,
+};
+use snia_repro::dataset::{split_indices, Dataset, DatasetConfig};
+
+fn main() {
+    let config = DatasetConfig {
+        n_samples: 240,
+        catalog_size: 1200,
+        seed: 11,
+    };
+    println!("generating {} samples...", config.n_samples);
+    let ds = Dataset::generate(&config);
+    let (train, val, test) = split_indices(ds.len(), config.seed);
+    let crop = 36; // small crop keeps the example quick
+
+    // --- Stage 1: flux CNN ---
+    println!("\n[1/3] pre-training the flux CNN...");
+    let mut rng = StdRng::seed_from_u64(21);
+    let mut cnn = FluxCnn::new(crop, PoolKind::Max, &mut rng);
+    let train_refs = flux_pair_refs(&ds, &train, 2, 1);
+    let val_refs = flux_pair_refs(&ds, &val, 2, 2);
+    let h = train_flux_cnn(
+        &mut cnn,
+        &ds,
+        &train_refs,
+        &val_refs,
+        &FluxTrainConfig {
+            crop,
+            epochs: 2,
+            batch_size: 16,
+            lr: 1e-3,
+            pairs_per_sample: 2,
+            augment: true,
+            seed: 3,
+        },
+    );
+    println!("  val MSE: {:.4} (normalised)", h.last().unwrap().val_loss);
+
+    // --- Stage 2: classifier on ground-truth features ---
+    println!("[2/3] pre-training the classifier...");
+    let (xt, tt, _) = feature_matrix(&ds, &train, 1);
+    let (xv, tv, _) = feature_matrix(&ds, &val, 1);
+    let mut clf = LightCurveClassifier::new(1, 64, &mut rng);
+    train_classifier(
+        &mut clf,
+        (&xt, &tt),
+        (&xv, &tv),
+        &ClassifierTrainConfig {
+            epochs: 20,
+            batch_size: 64,
+            lr: 3e-3,
+            seed: 4,
+        },
+    );
+
+    // --- Stage 3: joint fine-tuning ---
+    println!("[3/3] fine-tuning the joint model end-to-end...");
+    let mut joint = JointModel::from_pretrained(cnn, clf);
+    // epoch chosen by si/2, not si: labels alternate with the sample
+    // index, so an si-based rotation would leak the class via the dates.
+    let train_ex: Vec<JointExample> = train
+        .iter()
+        .map(|&si| JointExample { sample: si, epoch: (si / 2) % 4 })
+        .collect();
+    let val_ex: Vec<JointExample> = val
+        .iter()
+        .map(|&si| JointExample { sample: si, epoch: (si / 2) % 4 })
+        .collect();
+    let hist = train_joint(
+        &mut joint,
+        &ds,
+        &train_ex,
+        &val_ex,
+        &ClassifierTrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            lr: 2e-4,
+            seed: 5,
+        },
+    );
+    println!("  val acc after fine-tune: {:.3}", hist.last().unwrap().val_acc);
+
+    // --- Classify the test set from images alone ---
+    let test_ex: Vec<JointExample> = test
+        .iter()
+        .map(|&si| JointExample { sample: si, epoch: 0 })
+        .collect();
+    let (scores, labels) = joint_scores(&mut joint, &ds, &test_ex, 16);
+    println!("\njoint image->class test AUC: {:.3}", auc(&scores, &labels));
+    println!("(paper: 0.897 with 12,000 samples and full training budgets)");
+
+    println!("\nper-sample predictions (first 8):");
+    for (s, l) in scores.iter().zip(&labels).take(8) {
+        println!("  P(Ia) = {s:.3}   truth: {}", if *l { "Ia" } else { "non-Ia" });
+    }
+}

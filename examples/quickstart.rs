@@ -1,0 +1,73 @@
+//! Quickstart: generate a small dataset, train the single-epoch
+//! light-curve classifier, and report its test AUC and ROC.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snia_repro::core::classifier::LightCurveClassifier;
+use snia_repro::core::eval::{auc, roc_curve};
+use snia_repro::core::train::{
+    classifier_scores, feature_matrix, train_classifier, ClassifierTrainConfig,
+};
+use snia_repro::dataset::{split_indices, Dataset, DatasetConfig};
+
+fn main() {
+    // 1. A deterministic synthetic dataset: half Type Ia, half
+    //    contaminants (Ib/Ic/IIL/IIN/IIP), each a supernova embedded in a
+    //    host galaxy with a full 5-band x 4-epoch observing campaign.
+    let config = DatasetConfig {
+        n_samples: 600,
+        catalog_size: 2000,
+        seed: 42,
+    };
+    println!("generating {} samples...", config.n_samples);
+    let ds = Dataset::generate(&config);
+    let (train, val, test) = split_indices(ds.len(), config.seed);
+
+    // 2. Single-epoch light-curve features: 5 magnitudes + 5 dates.
+    //    Every sample contributes its 4 single-epoch subsets.
+    let (x_train, t_train, _) = feature_matrix(&ds, &train, 1);
+    let (x_val, t_val, _) = feature_matrix(&ds, &val, 1);
+    let (x_test, _, labels) = feature_matrix(&ds, &test, 1);
+    println!(
+        "features: {} train / {} val / {} test examples",
+        x_train.shape()[0],
+        x_val.shape()[0],
+        x_test.shape()[0]
+    );
+
+    // 3. The paper's classifier: FC -> 2 highway layers -> FC.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut clf = LightCurveClassifier::new(1, 100, &mut rng);
+    println!("training ({} parameters)...", clf.num_parameters());
+    let history = train_classifier(
+        &mut clf,
+        (&x_train, &t_train),
+        (&x_val, &t_val),
+        &ClassifierTrainConfig {
+            epochs: 25,
+            batch_size: 64,
+            lr: 3e-3,
+            seed: 1,
+        },
+    );
+    let last = history.last().expect("non-empty history");
+    println!(
+        "final: train loss {:.3}, val loss {:.3}, val acc {:.3}",
+        last.train_loss, last.val_loss, last.val_acc
+    );
+
+    // 4. Evaluate: AUC and a few ROC operating points.
+    let scores = classifier_scores(&mut clf, &x_test);
+    let a = auc(&scores, &labels);
+    println!("\nsingle-epoch test AUC: {a:.3} (paper: 0.958 at full scale)");
+    println!("\nROC operating points:");
+    println!("  FPR    TPR");
+    for p in roc_curve(&scores, &labels).iter().step_by(40) {
+        println!("  {:.3}  {:.3}", p.fpr, p.tpr);
+    }
+}

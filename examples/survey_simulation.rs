@@ -1,0 +1,89 @@
+//! Survey simulation: walk through the dataset generator itself — the
+//! substrate replacing the COSMOS archive — and inspect one supernova's
+//! campaign: host galaxy, light curve, schedule, and rendered stamps.
+//!
+//! ```sh
+//! cargo run --release --example survey_simulation
+//! ```
+
+use snia_repro::dataset::{Dataset, DatasetConfig};
+use snia_repro::lightcurve::Band;
+
+fn main() {
+    let ds = Dataset::generate(&DatasetConfig {
+        n_samples: 50,
+        catalog_size: 500,
+        seed: 2024,
+    });
+
+    // Pick a bright, low-z Type Ia so everything is visible.
+    let s = ds
+        .samples
+        .iter()
+        .filter(|s| s.is_ia() && s.sn.redshift < 0.6)
+        .min_by(|a, b| a.sn.redshift.partial_cmp(&b.sn.redshift).unwrap())
+        .expect("a low-z Ia exists");
+
+    println!("=== sample {} ===", s.id);
+    println!("type      : {}", s.sn.sn_type);
+    println!("redshift  : {:.3} (from host photo-z)", s.sn.redshift);
+    println!("stretch   : {:.3}", s.sn.stretch);
+    println!("colour    : {:+.3}", s.sn.color);
+    println!("peak MJD  : {:.1}", s.sn.peak_mjd);
+    println!(
+        "host      : galaxy #{} — i = {:.2} mag, R_eff = {:.2}\", axis ratio {:.2}, Sérsic n = {:.1}",
+        s.galaxy.id, s.galaxy.mag_i, s.galaxy.r_eff_arcsec, s.galaxy.axis_ratio, s.galaxy.sersic_index
+    );
+    println!(
+        "SN offset : ({:+.1}, {:+.1}) px from the host centre",
+        s.sn_dx, s.sn_dy
+    );
+
+    println!("\n--- observing campaign (5 bands x 4 epochs, <=2 bands/night) ---");
+    println!("reference epoch: MJD {:.1} (archival)", s.schedule.reference_mjd);
+    let lc = s.light_curve();
+    println!("\n  MJD      band  true mag   flux (counts)");
+    for &(band, mjd) in &s.schedule.observations {
+        let mag = lc.mag(band, mjd);
+        println!(
+            "  {:8.1}  {}    {:6.2}    {:8.1}",
+            mjd,
+            band,
+            mag,
+            lc.flux(band, mjd)
+        );
+    }
+
+    // The light curve per band at its brightest observation.
+    println!("\n--- peak visibility per band ---");
+    for band in Band::ALL {
+        let best = s
+            .schedule
+            .epochs_of(band)
+            .into_iter()
+            .map(|mjd| lc.mag(band, mjd))
+            .fold(f64::INFINITY, f64::min);
+        println!("  {band}: brightest observed mag {best:.2}");
+    }
+
+    // Render the brightest i-band pair and show the stamps.
+    let (oi, _) = s
+        .schedule
+        .observations
+        .iter()
+        .enumerate()
+        .filter(|(_, (b, _))| *b == Band::I)
+        .min_by(|a, b| {
+            lc.mag(a.1 .0, a.1 .1).partial_cmp(&lc.mag(b.1 .0, b.1 .1)).unwrap()
+        })
+        .unwrap();
+    let pair = s.flux_pair(oi);
+    let diff = pair.observation.subtract(&pair.reference);
+    println!("\n--- rendered stamps (i band, brightest epoch) ---");
+    println!("reference (galaxy only):");
+    print!("{}", pair.reference.to_ascii(32));
+    println!("observation (galaxy + SN):");
+    print!("{}", pair.observation.to_ascii(32));
+    println!("difference (SN isolated, with subtraction residuals):");
+    print!("{}", diff.to_ascii(32));
+}

@@ -1,0 +1,12 @@
+#!/bin/bash
+# Regenerates every table/figure/extension result into results/.
+# Honours SNIA_FULL / SNIA_SCALE / SNIA_SEED (see snia_core::config).
+set -u
+cd "$(dirname "$0")/.."
+mkdir -p results/logs
+for exp in fig3 fig4 fig5 table1 fig8 fig9 fig10 table2 ablate bogus fig11 fig12 photometry throughput followup; do
+  echo "=== $exp start $(date +%H:%M:%S) ==="
+  cargo run --release -p snia-bench --bin "$exp" > "results/logs/$exp.log" 2>&1
+  echo "=== $exp done  $(date +%H:%M:%S) exit=$? ==="
+done
+echo SUITE_COMPLETE

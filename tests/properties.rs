@@ -1,0 +1,219 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! workspace: tensors, metrics, photometry, light curves, scheduling and
+//! splits.
+
+use proptest::prelude::*;
+
+use snia_repro::core::eval::{accuracy, auc, roc_curve};
+use snia_repro::dataset::schedule::ObservationSchedule;
+use snia_repro::dataset::split_indices;
+use snia_repro::lightcurve::template::delta_mag;
+use snia_repro::lightcurve::{flux_to_mag, mag_to_flux, Band, LightCurve, SnParams, SnType};
+use snia_repro::nn::Tensor;
+use snia_repro::skysim::Image;
+
+fn sn_type_strategy() -> impl Strategy<Value = SnType> {
+    prop::sample::select(SnType::ALL.to_vec())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ---- photometry ----
+
+    #[test]
+    fn mag_flux_round_trip(mag in 10.0f64..35.0) {
+        let back = flux_to_mag(mag_to_flux(mag));
+        prop_assert!((back - mag).abs() < 1e-9);
+    }
+
+    #[test]
+    fn flux_ordering_is_mag_ordering(a in 10.0f64..35.0, b in 10.0f64..35.0) {
+        prop_assert_eq!(a < b, mag_to_flux(a) > mag_to_flux(b));
+    }
+
+    // ---- light curves ----
+
+    #[test]
+    fn light_curve_is_finite_everywhere(
+        sn_type in sn_type_strategy(),
+        z in 0.1f64..2.0,
+        stretch in 0.6f64..1.6,
+        color in -0.3f64..0.5,
+        dt in -80.0f64..200.0,
+    ) {
+        let lc = LightCurve::new(SnParams {
+            sn_type, redshift: z, stretch, color,
+            peak_mjd: 59_000.0, mag_offset: 0.0,
+        });
+        for band in Band::ALL {
+            let m = lc.mag(band, 59_000.0 + dt);
+            prop_assert!(m.is_finite(), "{sn_type} {band} {dt}: {m}");
+            // Nothing in a survey is brighter than mag ~15.
+            prop_assert!(m > 15.0, "{sn_type} {band} {dt}: implausibly bright {m}");
+        }
+    }
+
+    #[test]
+    fn templates_peak_at_phase_zero(
+        sn_type in sn_type_strategy(),
+        stretch in 0.6f64..1.6,
+        lambda in 400.0f64..1050.0,
+        t in -60.0f64..150.0,
+    ) {
+        let at_peak = delta_mag(sn_type, stretch, lambda, 0.0);
+        let elsewhere = delta_mag(sn_type, stretch, lambda, t);
+        // Secondary maxima may dip slightly below the +0.0 reference but
+        // never outshine the true peak materially.
+        prop_assert!(elsewhere >= at_peak - 0.35,
+            "{sn_type} λ{lambda} t{t}: {elsewhere} vs peak {at_peak}");
+    }
+
+    #[test]
+    fn redshift_always_dims(
+        sn_type in sn_type_strategy(),
+        z in 0.1f64..0.9,
+    ) {
+        let mk = |zz: f64| LightCurve::new(SnParams {
+            sn_type, redshift: zz, stretch: 1.0, color: 0.0,
+            peak_mjd: 59_000.0, mag_offset: 0.0,
+        });
+        let near = mk(z).mag(Band::I, 59_000.0);
+        let far = mk(z + 0.5).mag(Band::I, 59_000.0);
+        prop_assert!(far > near, "z {z}: {near} vs z+0.5: {far}");
+    }
+
+    // ---- metrics ----
+
+    #[test]
+    fn auc_is_bounded_and_flip_symmetric(
+        scores in prop::collection::vec(0.0f64..1.0, 10..60),
+        flips in prop::collection::vec(any::<bool>(), 10..60),
+    ) {
+        let n = scores.len().min(flips.len());
+        let scores = &scores[..n];
+        let labels = &flips[..n];
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let a = auc(scores, labels);
+        prop_assert!((0.0..=1.0).contains(&a));
+        // Flipping labels mirrors the AUC.
+        let flipped: Vec<bool> = labels.iter().map(|&l| !l).collect();
+        let b = auc(scores, &flipped);
+        prop_assert!((a + b - 1.0).abs() < 1e-9, "a {a} + b {b} != 1");
+    }
+
+    #[test]
+    fn auc_invariant_under_monotone_transform(
+        scores in prop::collection::vec(-5.0f64..5.0, 12..40),
+        labels in prop::collection::vec(any::<bool>(), 12..40),
+    ) {
+        let n = scores.len().min(labels.len());
+        let scores = &scores[..n];
+        let labels = &labels[..n];
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let a = auc(scores, labels);
+        let transformed: Vec<f64> = scores.iter().map(|s| (s * 0.7).tanh() * 3.0 + 1.0).collect();
+        let b = auc(&transformed, labels);
+        prop_assert!((a - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn roc_is_monotone_nondecreasing(
+        scores in prop::collection::vec(0.0f64..1.0, 10..50),
+        labels in prop::collection::vec(any::<bool>(), 10..50),
+    ) {
+        let n = scores.len().min(labels.len());
+        let (scores, labels) = (&scores[..n], &labels[..n]);
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let curve = roc_curve(scores, labels);
+        for w in curve.windows(2) {
+            prop_assert!(w[1].fpr >= w[0].fpr);
+            prop_assert!(w[1].tpr >= w[0].tpr);
+        }
+    }
+
+    #[test]
+    fn accuracy_is_bounded(
+        scores in prop::collection::vec(0.0f64..1.0, 5..40),
+        labels in prop::collection::vec(any::<bool>(), 5..40),
+        thr in 0.0f64..1.0,
+    ) {
+        let n = scores.len().min(labels.len());
+        let acc = accuracy(&scores[..n], &labels[..n], thr);
+        prop_assert!((0.0..=1.0).contains(&acc));
+    }
+
+    // ---- tensors ----
+
+    #[test]
+    fn tensor_transpose_is_involution(
+        rows in 1usize..8, cols in 1usize..8,
+        seed in any::<u64>(),
+    ) {
+        let mut state = seed;
+        let data: Vec<f32> = (0..rows * cols).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 40) as f32 / 1e6) - 8.0
+        }).collect();
+        let t = Tensor::from_vec(vec![rows, cols], data);
+        prop_assert_eq!(t.transpose().transpose(), t);
+    }
+
+    #[test]
+    fn tensor_matmul_identity(n in 1usize..8, seed in any::<u64>()) {
+        let mut state = seed;
+        let data: Vec<f32> = (0..n * n).map(|_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 40) as f32 / 1e6) - 8.0
+        }).collect();
+        let a = Tensor::from_vec(vec![n, n], data);
+        let mut eye = Tensor::zeros(vec![n, n]);
+        for i in 0..n { *eye.at_mut(&[i, i]) = 1.0; }
+        prop_assert_eq!(a.matmul(&eye), a);
+    }
+
+    #[test]
+    fn concat_split_round_trip(
+        rows in 1usize..6, w1 in 1usize..5, w2 in 1usize..5,
+    ) {
+        let a = Tensor::full(vec![rows, w1], 1.5);
+        let b = Tensor::full(vec![rows, w2], -2.5);
+        let c = Tensor::concat_cols(&[&a, &b]);
+        let parts = c.split_cols(&[w1, w2]);
+        prop_assert_eq!(&parts[0], &a);
+        prop_assert_eq!(&parts[1], &b);
+    }
+
+    // ---- images ----
+
+    #[test]
+    fn log_stretch_is_odd_and_bounded(v in -1e5f32..1e5) {
+        let img = Image::from_vec(1, 1, vec![v]);
+        let neg = Image::from_vec(1, 1, vec![-v]);
+        let s = img.log_stretch().get(0, 0);
+        let ns = neg.log_stretch().get(0, 0);
+        prop_assert!((s + ns).abs() < 1e-5);
+        prop_assert!(s.abs() <= 5.1);
+    }
+
+    // ---- scheduling & splits ----
+
+    #[test]
+    fn schedules_always_balanced(seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = ObservationSchedule::generate(&mut rng, 59_000.0);
+        for band in Band::ALL {
+            prop_assert_eq!(s.epochs_of(band).len(), 4);
+        }
+        prop_assert!(s.reference_mjd < s.season_start);
+    }
+
+    #[test]
+    fn splits_partition_exactly(n in 10usize..500, seed in any::<u64>()) {
+        let (tr, va, te) = split_indices(n, seed);
+        let mut all: Vec<usize> = tr.iter().chain(&va).chain(&te).copied().collect();
+        all.sort_unstable();
+        prop_assert_eq!(all, (0..n).collect::<Vec<_>>());
+    }
+}
