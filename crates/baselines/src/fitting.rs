@@ -146,7 +146,11 @@ mod tests {
         assert!(fit.chi2 < 10.0, "chi2 {}", fit.chi2);
         // Peak-date quantisation trades off against stretch, so allow one
         // grid step in each.
-        assert!((fit.peak_mjd - 59_030.0).abs() <= 6.0, "peak {}", fit.peak_mjd);
+        assert!(
+            (fit.peak_mjd - 59_030.0).abs() <= 6.0,
+            "peak {}",
+            fit.peak_mjd
+        );
         assert!((fit.stretch - 1.0).abs() <= 0.2, "stretch {}", fit.stretch);
         assert!(fit.offset.abs() < 0.2);
     }

@@ -163,10 +163,7 @@ fn log_sum_exp(terms: &[f64]) -> f64 {
 /// Builds the 5-band single-epoch [`Observation`]s of epoch set `k` of a
 /// dataset sample from its ground-truth light curve — the same features
 /// the proposed method's classifier consumes.
-pub fn epoch_observations(
-    spec: &snia_dataset::SampleSpec,
-    k: usize,
-) -> Vec<Observation> {
+pub fn epoch_observations(spec: &snia_dataset::SampleSpec, k: usize) -> Vec<Observation> {
     let lc = spec.light_curve();
     spec.schedule
         .epoch_set(k)

@@ -200,7 +200,7 @@ fn build_tree(
                 + right_n as f64 * gini(right_pos, right_n))
                 / total as f64;
             let gain = parent_gini - w_gini;
-            if gain > 1e-12 && best.map_or(true, |(_, _, g)| gain > g) {
+            if gain > 1e-12 && best.is_none_or(|(_, _, g)| gain > g) {
                 best = Some((f, (lv + rv) / 2.0, gain));
             }
         }

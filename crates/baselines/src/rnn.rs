@@ -64,7 +64,9 @@ impl Default for GruTrainConfig {
     }
 }
 
-/// The recurrent cell, behind one interface.
+/// The recurrent cell, behind one interface. A model holds exactly one
+/// cell, so the Gru/Lstm size difference is not worth boxing over.
+#[allow(clippy::large_enum_variant)]
 #[derive(Debug)]
 enum Cell {
     Gru(Gru),

@@ -100,7 +100,10 @@ fn bench_rendering(c: &mut Criterion) {
     c.bench_function("render_cutout_65x65", |bch| {
         bch.iter(|| std::hint::black_box(render_cutout(&spec)));
     });
-    let psf = Psf::Moffat { fwhm: 4.1, beta: 3.0 };
+    let psf = Psf::Moffat {
+        fwhm: 4.1,
+        beta: 3.0,
+    };
     c.bench_function("psf_point_source_65x65", |bch| {
         bch.iter(|| {
             let mut img = Image::zeros(65, 65);
@@ -125,9 +128,39 @@ fn bench_dataset_generation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_telemetry_span(c: &mut Criterion) {
+    // The contract that lets spans live in per-batch and per-cutout code:
+    // with the default no-op sink a disabled span enter/exit is one relaxed
+    // atomic load, well under 50 ns.
+    snia_telemetry::set_enabled(false);
+    c.bench_function("telemetry_span_disabled", |bch| {
+        bch.iter(|| {
+            let _g = snia_telemetry::span!("bench", i = 1);
+            std::hint::black_box(())
+        });
+    });
+    c.bench_function("telemetry_observe_disabled", |bch| {
+        bch.iter(|| snia_telemetry::observe("bench.value", std::hint::black_box(1.5)));
+    });
+    // Enabled but sinkless: registry updates only, no I/O.
+    snia_telemetry::set_enabled(true);
+    c.bench_function("telemetry_span_enabled_no_sink", |bch| {
+        bch.iter(|| {
+            let _g = snia_telemetry::span!("bench", i = 1);
+            std::hint::black_box(())
+        });
+    });
+    c.bench_function("telemetry_observe_enabled", |bch| {
+        bch.iter(|| snia_telemetry::observe("bench.value", std::hint::black_box(1.5)));
+    });
+    snia_telemetry::reset();
+}
+
 fn bench_auc(c: &mut Criterion) {
     let n = 10_000;
-    let scores: Vec<f64> = (0..n).map(|i| ((i * 2654435761u64) % 1000) as f64).collect();
+    let scores: Vec<f64> = (0..n)
+        .map(|i| ((i * 2654435761u64) % 1000) as f64)
+        .collect();
     let labels: Vec<bool> = (0..n).map(|i| i % 3 == 0).collect();
     c.bench_function("auc_10k", |bch| {
         bch.iter(|| std::hint::black_box(auc(&scores, &labels)));
@@ -143,6 +176,7 @@ criterion_group!(
     bench_flux_cnn_inference,
     bench_rendering,
     bench_dataset_generation,
+    bench_telemetry_span,
     bench_auc
 );
 criterion_main!(benches);

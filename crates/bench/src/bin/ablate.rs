@@ -14,7 +14,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::classifier::LightCurveClassifier;
 use snia_core::eval::auc;
 use snia_core::flux_cnn::{FluxCnn, PoolKind};
@@ -181,30 +181,59 @@ fn plain_classifier_auc(
     }
     let _ = (xv, tv); // plain model uses the same fixed budget; no early stop
     let y = net.forward(&xe, Mode::Eval);
-    let scores: Vec<f64> = sigmoid_probs(&y).data().iter().map(|&p| f64::from(p)).collect();
+    let scores: Vec<f64> = sigmoid_probs(&y)
+        .data()
+        .iter()
+        .map(|&p| f64::from(p))
+        .collect();
     auc(&scores, &labels)
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("ablate");
     let cfg = ExperimentConfig::from_env();
-    println!("# Ablations (config: {:?})", cfg.dataset);
+    progress!("# Ablations (config: {:?})", cfg.dataset);
     let ds = Dataset::generate(&cfg.dataset);
     let (tr, va, te) = split_indices(ds.len(), cfg.seed);
     let train_refs = flux_pair_refs(&ds, &tr, 2, cfg.seed + 500);
     let val_refs = flux_pair_refs(&ds, &va, 2, cfg.seed + 501);
     let epochs = cfg.scaled(2);
 
-    println!("\n[1/4] input transform: log-stretch vs raw difference...");
-    let log_mse = train_flux_variant(&ds, &train_refs, &val_refs, PoolKind::Max, true, epochs, cfg.seed + 1);
-    let raw_mse = train_flux_variant(&ds, &train_refs, &val_refs, PoolKind::Max, false, epochs, cfg.seed + 1);
-    println!("    log {log_mse:.4} vs raw {raw_mse:.4} (normalised MSE)");
+    progress!("\n[1/4] input transform: log-stretch vs raw difference...");
+    let log_mse = train_flux_variant(
+        &ds,
+        &train_refs,
+        &val_refs,
+        PoolKind::Max,
+        true,
+        epochs,
+        cfg.seed + 1,
+    );
+    let raw_mse = train_flux_variant(
+        &ds,
+        &train_refs,
+        &val_refs,
+        PoolKind::Max,
+        false,
+        epochs,
+        cfg.seed + 1,
+    );
+    progress!("    log {log_mse:.4} vs raw {raw_mse:.4} (normalised MSE)");
 
-    println!("[2/4] pooling: max vs average...");
+    progress!("[2/4] pooling: max vs average...");
     let max_mse = log_mse; // identical configuration
-    let avg_mse = train_flux_variant(&ds, &train_refs, &val_refs, PoolKind::Avg, true, epochs, cfg.seed + 1);
-    println!("    max {max_mse:.4} vs avg {avg_mse:.4}");
+    let avg_mse = train_flux_variant(
+        &ds,
+        &train_refs,
+        &val_refs,
+        PoolKind::Avg,
+        true,
+        epochs,
+        cfg.seed + 1,
+    );
+    progress!("    max {max_mse:.4} vs avg {avg_mse:.4}");
 
-    println!("[3/4] classifier: highway vs plain FC...");
+    progress!("[3/4] classifier: highway vs plain FC...");
     let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
     let (xv, tv, _) = feature_matrix(&ds, &va, 1);
     let (xe, _, labels) = feature_matrix(&ds, &te, 1);
@@ -219,12 +248,12 @@ fn main() {
     train_classifier(&mut hw, (&xt, &tt), (&xv, &tv), &ccfg);
     let highway_auc = auc(&classifier_scores(&mut hw, &xe), &labels);
     let plain_auc = plain_classifier_auc(&ds, &tr, &va, &te, cfg.scaled(30), cfg.seed + 63);
-    println!("    highway {highway_auc:.3} vs plain {plain_auc:.3}");
+    progress!("    highway {highway_auc:.3} vs plain {plain_auc:.3}");
 
-    println!("[4/4] weight sharing: shared vs per-band CNNs...");
+    progress!("[4/4] weight sharing: shared vs per-band CNNs...");
     let shared_mse = log_mse;
     let per_band_mse = train_per_band(&ds, &train_refs, &val_refs, epochs, cfg.seed + 71);
-    println!("    shared {shared_mse:.4} vs per-band {per_band_mse:.4}");
+    progress!("    shared {shared_mse:.4} vs per-band {per_band_mse:.4}");
 
     let mut table = Table::new(vec!["ablation", "paper choice", "alternative", "winner"]);
     let pick = |a: f64, b: f64, lower_better: bool| {

@@ -15,7 +15,7 @@ use rand::SeedableRng;
 use serde::Serialize;
 
 use snia_baselines::random_forest::{ForestConfig, RandomForest};
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::bogus::{bogus_cnn_scores, handcrafted_features, train_bogus_cnn, BogusCnn};
 use snia_core::eval::{auc, fpr_at_tpr, tpr_at_fpr};
 use snia_core::ExperimentConfig;
@@ -31,17 +31,18 @@ struct BogusResult {
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("bogus");
     let cfg = ExperimentConfig::from_env();
     let n_train = (cfg.dataset.n_samples * 2).max(400);
     let n_test = (n_train / 4).max(100);
-    println!("# Bogus rejection extension ({n_train} train / {n_test} test candidates)");
+    progress!("# Bogus rejection extension ({n_train} train / {n_test} test candidates)");
 
     let train = generate_bogus_set(n_train, cfg.seed + 900);
     let test = generate_bogus_set(n_test, cfg.seed + 901);
     let test_labels: Vec<bool> = test.iter().map(|e| e.is_real()).collect();
 
     // --- Random forest on hand-crafted features (Bailey 2007 / Brink 2013) ---
-    println!("\n[1/2] random forest on hand-crafted features...");
+    progress!("\n[1/2] random forest on hand-crafted features...");
     let x_train: Vec<Vec<f64>> = train.iter().map(handcrafted_features).collect();
     let y_train: Vec<bool> = train.iter().map(|e| e.is_real()).collect();
     let rf = RandomForest::fit(
@@ -52,14 +53,17 @@ fn main() {
             ..Default::default()
         },
     );
-    let rf_scores: Vec<f64> = test.iter().map(|e| rf.predict_proba(&handcrafted_features(e))).collect();
+    let rf_scores: Vec<f64> = test
+        .iter()
+        .map(|e| rf.predict_proba(&handcrafted_features(e)))
+        .collect();
     let rf_auc = auc(&rf_scores, &test_labels);
     let rf_tpr = tpr_at_fpr(&rf_scores, &test_labels, 0.01);
     let rf_fpr = fpr_at_tpr(&rf_scores, &test_labels, 0.90);
-    println!("    AUC {rf_auc:.3}, TPR@FPR1% {rf_tpr:.3}, FPR@TPR90% {rf_fpr:.4}");
+    progress!("    AUC {rf_auc:.3}, TPR@FPR1% {rf_tpr:.3}, FPR@TPR90% {rf_fpr:.4}");
 
     // --- CNN on difference images (Morii 2016) ---
-    println!("[2/2] CNN on difference images...");
+    progress!("[2/2] CNN on difference images...");
     let mut rng = StdRng::seed_from_u64(cfg.seed + 902);
     let mut cnn = BogusCnn::new(&mut rng);
     train_bogus_cnn(&mut cnn, &train, cfg.scaled(8), 16, 1e-3, cfg.seed + 903);
@@ -67,7 +71,7 @@ fn main() {
     let cnn_auc = auc(&cnn_scores, &test_labels);
     let cnn_tpr = tpr_at_fpr(&cnn_scores, &test_labels, 0.01);
     let cnn_fpr = fpr_at_tpr(&cnn_scores, &test_labels, 0.90);
-    println!("    AUC {cnn_auc:.3}, TPR@FPR1% {cnn_tpr:.3}, FPR@TPR90% {cnn_fpr:.4}");
+    progress!("    AUC {cnn_auc:.3}, TPR@FPR1% {cnn_tpr:.3}, FPR@TPR90% {cnn_fpr:.4}");
 
     let mut table = Table::new(vec![
         "method",

@@ -9,10 +9,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::classifier::LightCurveClassifier;
 use snia_core::eval::{auc, roc_curve};
-use snia_core::train::{classifier_scores, feature_matrix, train_classifier, ClassifierTrainConfig};
+use snia_core::train::{
+    classifier_scores, feature_matrix, train_classifier, ClassifierTrainConfig,
+};
 use snia_core::ExperimentConfig;
 use snia_dataset::{split_indices, Dataset};
 
@@ -24,8 +26,12 @@ struct EpochResult {
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("fig10");
     let cfg = ExperimentConfig::from_env();
-    println!("# Figure 10 — ROC vs. observation epochs (config: {:?})", cfg.dataset);
+    progress!(
+        "# Figure 10 — ROC vs. observation epochs (config: {:?})",
+        cfg.dataset
+    );
     let ds = Dataset::generate(&cfg.dataset);
     let (tr, va, te) = split_indices(ds.len(), cfg.seed);
 
@@ -46,16 +52,20 @@ fn main() {
         train_classifier(&mut clf, (&xt, &tt), (&xv, &tv), &tcfg);
         let scores = classifier_scores(&mut clf, &xe);
         let a = auc(&scores, &labels);
-        println!("  {k} epoch(s): AUC {a:.3}");
+        progress!("  {k} epoch(s): AUC {a:.3}");
         table.row(vec![format!("{k}"), format!("{a:.3}")]);
         let roc: Vec<(f64, f64)> = roc_curve(&scores, &labels)
             .iter()
             .step_by(8)
             .map(|p| (p.fpr, p.tpr))
             .collect();
-        results.push(EpochResult { epochs: k, auc: a, roc });
+        results.push(EpochResult {
+            epochs: k,
+            auc: a,
+            roc,
+        });
     }
     table.print("Figure 10 — AUC vs. number of epochs");
-    println!("\npaper: 1 epoch → 0.958, 4 epochs → 0.995 (monotone increase).");
+    progress!("\npaper: 1 epoch → 0.958, 4 epochs → 0.995 (monotone increase).");
     write_json("fig10", &results);
 }

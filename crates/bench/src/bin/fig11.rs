@@ -10,7 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::classifier::LightCurveClassifier;
 use snia_core::eval::{auc, roc_curve};
 use snia_core::flux_cnn::{FluxCnn, PoolKind};
@@ -52,14 +52,15 @@ fn all_epochs(idx: &[usize]) -> Vec<JointExample> {
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("fig11");
     let cfg = ExperimentConfig::from_env();
-    println!("# Figure 11 — joint model ROC (config: {:?})", cfg.dataset);
+    progress!("# Figure 11 — joint model ROC (config: {:?})", cfg.dataset);
     let ds = Dataset::generate(&cfg.dataset);
     let (tr, va, te) = split_indices(ds.len(), cfg.seed);
     let crop = 60;
 
     // Stage 1: pre-train the flux CNN.
-    println!("\n[1/3] pre-training the band-wise flux CNN...");
+    progress!("\n[1/3] pre-training the band-wise flux CNN...");
     let mut rng = StdRng::seed_from_u64(cfg.seed + 11);
     let mut cnn = FluxCnn::new(crop, PoolKind::Max, &mut rng);
     let train_refs = flux_pair_refs(&ds, &tr, 2, cfg.seed + 300);
@@ -74,10 +75,13 @@ fn main() {
         seed: cfg.seed + 2,
     };
     let h = train_flux_cnn(&mut cnn, &ds, &train_refs, &val_refs, &fcfg);
-    println!("    final val loss {:.4} (normalised)", h.last().unwrap().val_loss);
+    progress!(
+        "    final val loss {:.4} (normalised)",
+        h.last().unwrap().val_loss
+    );
 
     // Stage 2: pre-train the classifier on ground-truth features.
-    println!("[2/3] pre-training the light-curve classifier...");
+    progress!("[2/3] pre-training the light-curve classifier...");
     let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
     let (xv, tv, _) = feature_matrix(&ds, &va, 1);
     let mut clf = LightCurveClassifier::new(1, 100, &mut rng);
@@ -95,7 +99,7 @@ fn main() {
     let feat_auc = auc(&feat_scores, &labels_feat);
 
     // Stage 3: assemble and fine-tune the joint model.
-    println!("[3/3] fine-tuning the joint model...");
+    progress!("[3/3] fine-tuning the joint model...");
     let mut jm = JointModel::from_pretrained(cnn, clf);
     let train_ex = two_per_sample(&tr);
     let val_ex = two_per_sample(&va);
@@ -107,9 +111,13 @@ fn main() {
     };
     let hist = train_joint(&mut jm, &ds, &train_ex, &val_ex, &jcfg);
     for r in &hist {
-        println!(
+        progress!(
             "    epoch {}: train loss {:.3} acc {:.3} | val loss {:.3} acc {:.3}",
-            r.epoch, r.train_loss, r.train_acc, r.val_loss, r.val_acc
+            r.epoch,
+            r.train_loss,
+            r.train_acc,
+            r.val_loss,
+            r.val_acc
         );
     }
 
@@ -124,12 +132,19 @@ fn main() {
 
     let mut table = Table::new(vec!["model", "test AUC"]);
     table.row(vec!["joint (images)".into(), format!("{joint_auc:.3}")]);
-    table.row(vec!["classifier (GT features)".into(), format!("{feat_auc:.3}")]);
+    table.row(vec![
+        "classifier (GT features)".into(),
+        format!("{feat_auc:.3}"),
+    ]);
     table.print("Figure 11 — joint model vs. feature classifier");
-    println!("\npaper: joint 0.897 vs features 0.958 — joint below features.");
-    println!(
+    progress!("\npaper: joint 0.897 vs features 0.958 — joint below features.");
+    progress!(
         "shape check: joint < features here: {}",
-        if joint_auc <= feat_auc + 0.01 { "yes" } else { "NO" }
+        if joint_auc <= feat_auc + 0.01 {
+            "yes"
+        } else {
+            "NO"
+        }
     );
 
     write_json(

@@ -8,7 +8,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::classifier::LightCurveClassifier;
 use snia_core::flux_cnn::{FluxCnn, PoolKind};
 use snia_core::joint::JointModel;
@@ -38,8 +38,12 @@ fn one_per_sample(idx: &[usize]) -> Vec<JointExample> {
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("fig12");
     let cfg = ExperimentConfig::from_env();
-    println!("# Figure 12 — fine-tuning vs. from scratch (config: {:?})", cfg.dataset);
+    progress!(
+        "# Figure 12 — fine-tuning vs. from scratch (config: {:?})",
+        cfg.dataset
+    );
     let ds = Dataset::generate(&cfg.dataset);
     let (tr, va, _) = split_indices(ds.len(), cfg.seed);
     let crop = 60;
@@ -48,7 +52,7 @@ fn main() {
     let epochs = cfg.scaled(3);
 
     // --- fine-tuned variant: pre-train both parts first ---
-    println!("\npre-training parts for the fine-tuned variant...");
+    progress!("\npre-training parts for the fine-tuned variant...");
     let mut rng = StdRng::seed_from_u64(cfg.seed + 21);
     let mut cnn = FluxCnn::new(crop, PoolKind::Max, &mut rng);
     let train_refs = flux_pair_refs(&ds, &tr, 2, cfg.seed + 400);
@@ -83,7 +87,7 @@ fn main() {
         },
     );
     let mut fine = JointModel::from_pretrained(cnn, clf);
-    println!("fine-tuning...");
+    progress!("fine-tuning...");
     let fine_hist = train_joint(
         &mut fine,
         &ds,
@@ -98,7 +102,7 @@ fn main() {
     );
 
     // --- from-scratch variant: same joint budget, fresh weights ---
-    println!("training from scratch...");
+    progress!("training from scratch...");
     let mut rng2 = StdRng::seed_from_u64(cfg.seed + 22);
     let mut scratch = JointModel::from_scratch(crop, 100, &mut rng2);
     let scratch_hist = train_joint(
@@ -135,16 +139,24 @@ fn main() {
     let sc_first = scratch_hist.first().unwrap();
     let ft_last = fine_hist.last().unwrap();
     let sc_last = scratch_hist.last().unwrap();
-    println!("\nshape checks (paper: fine-tuning better and faster):");
-    println!(
+    progress!("\nshape checks (paper: fine-tuning better and faster):");
+    progress!(
         "  fine-tune starts better: {} ({:.3} vs {:.3})",
-        if ft_first.train_loss < sc_first.train_loss { "yes" } else { "NO" },
+        if ft_first.train_loss < sc_first.train_loss {
+            "yes"
+        } else {
+            "NO"
+        },
         ft_first.train_loss,
         sc_first.train_loss
     );
-    println!(
+    progress!(
         "  fine-tune ends >= scratch in val acc: {} ({:.3} vs {:.3})",
-        if ft_last.val_acc >= sc_last.val_acc - 0.02 { "yes" } else { "NO" },
+        if ft_last.val_acc >= sc_last.val_acc - 0.02 {
+            "yes"
+        } else {
+            "NO"
+        },
         ft_last.val_acc,
         sc_last.val_acc
     );

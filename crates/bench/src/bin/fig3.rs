@@ -7,7 +7,7 @@
 
 use serde::Serialize;
 
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::ExperimentConfig;
 use snia_dataset::Dataset;
 use snia_skysim::catalog::{FIELD_DEC_DEG, FIELD_RA_DEG, PHOTO_Z_RANGE};
@@ -34,8 +34,12 @@ fn occupancy(points: &[(f64, f64)], grid: usize) -> f64 {
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("fig3");
     let cfg = ExperimentConfig::from_env();
-    println!("# Figure 3 — host galaxy coverage (config: {:?})", cfg.dataset);
+    progress!(
+        "# Figure 3 — host galaxy coverage (config: {:?})",
+        cfg.dataset
+    );
     let ds = Dataset::generate(&cfg.dataset);
 
     const BINS: usize = 10;
@@ -48,13 +52,17 @@ fn main() {
     }
     let norm = |h: &[usize]| {
         let total: usize = h.iter().sum();
-        h.iter().map(|&c| c as f64 / total as f64).collect::<Vec<f64>>()
+        h.iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect::<Vec<f64>>()
     };
     let cat_n = norm(&catalog_hist);
     let ds_n = norm(&dataset_hist);
 
     let mut t = Table::new(vec!["photo-z bin", "catalog fraction", "dataset fraction"]);
-    let z_bins: Vec<f64> = (0..BINS).map(|i| lo + (i as f64 + 0.5) * (hi - lo) / BINS as f64).collect();
+    let z_bins: Vec<f64> = (0..BINS)
+        .map(|i| lo + (i as f64 + 0.5) * (hi - lo) / BINS as f64)
+        .collect();
     for i in 0..BINS {
         t.row(vec![
             format!("{:.2}", z_bins[i]),
@@ -64,20 +72,33 @@ fn main() {
     }
     t.print("Photo-z distributions (Figure 3 right)");
 
-    let cat_pts: Vec<(f64, f64)> = ds.catalog.galaxies().iter().map(|g| (g.ra_deg, g.dec_deg)).collect();
-    let ds_pts: Vec<(f64, f64)> = ds.samples.iter().map(|s| (s.galaxy.ra_deg, s.galaxy.dec_deg)).collect();
+    let cat_pts: Vec<(f64, f64)> = ds
+        .catalog
+        .galaxies()
+        .iter()
+        .map(|g| (g.ra_deg, g.dec_deg))
+        .collect();
+    let ds_pts: Vec<(f64, f64)> = ds
+        .samples
+        .iter()
+        .map(|s| (s.galaxy.ra_deg, s.galaxy.dec_deg))
+        .collect();
     let cat_occ = occupancy(&cat_pts, 12);
     let ds_occ = occupancy(&ds_pts, 12);
-    println!("\nField coverage on a 12x12 grid (Figure 3 left):");
-    println!("  catalog occupancy: {:.1}%", 100.0 * cat_occ);
-    println!("  dataset occupancy: {:.1}%", 100.0 * ds_occ);
+    progress!("\nField coverage on a 12x12 grid (Figure 3 left):");
+    progress!("  catalog occupancy: {:.1}%", 100.0 * cat_occ);
+    progress!("  dataset occupancy: {:.1}%", 100.0 * ds_occ);
 
     // The paper's claim to check: "galaxies in both the catalog and the
     // dataset cover almost the entire COSMOS area of interest".
     let covered = ds_occ > 0.9;
-    println!(
+    progress!(
         "  dataset covers the field: {}",
-        if covered { "yes" } else { "NO (increase SNIA_SCALE)" }
+        if covered {
+            "yes"
+        } else {
+            "NO (increase SNIA_SCALE)"
+        }
     );
 
     write_json(

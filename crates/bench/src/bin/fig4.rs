@@ -4,7 +4,7 @@
 
 use serde::Serialize;
 
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::ExperimentConfig;
 use snia_dataset::Dataset;
 
@@ -34,8 +34,12 @@ fn median(values: &mut [f64]) -> f64 {
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("fig4");
     let cfg = ExperimentConfig::from_env();
-    println!("# Figure 4 — SN offsets from hosts (config: {:?})", cfg.dataset);
+    progress!(
+        "# Figure 4 — SN offsets from hosts (config: {:?})",
+        cfg.dataset
+    );
     let ds = Dataset::generate(&cfg.dataset);
 
     let mut raw: Vec<f64> = Vec::with_capacity(ds.len());
@@ -66,11 +70,15 @@ fn main() {
 
     let med_raw = median(&mut raw);
     let med_norm = median(&mut norm);
-    println!("\nmedian raw offset: {med_raw:.2} px");
-    println!("median offset / R_eff: {med_norm:.2}");
-    println!(
+    progress!("\nmedian raw offset: {med_raw:.2} px");
+    progress!("median offset / R_eff: {med_norm:.2}");
+    progress!(
         "inside 1.5 half-light ellipse by construction: {}",
-        if med_norm <= 1.5 { "consistent" } else { "INCONSISTENT" }
+        if med_norm <= 1.5 {
+            "consistent"
+        } else {
+            "INCONSISTENT"
+        }
     );
 
     write_json(

@@ -5,6 +5,7 @@
 
 use std::fs;
 
+use snia_bench::progress;
 use snia_core::ExperimentConfig;
 use snia_dataset::Dataset;
 use snia_lightcurve::Band;
@@ -28,32 +29,41 @@ fn dump_triplet(ds: &Dataset, sample_idx: usize, tag: &str, dir: &std::path::Pat
     let diff = pair.observation.subtract(&pair.reference);
 
     let hi = pair.observation.max().max(1.0);
-    fs::write(dir.join(format!("{tag}_reference.pgm")), pair.reference.to_pgm(-1.0, hi)).unwrap();
-    fs::write(dir.join(format!("{tag}_observation.pgm")), pair.observation.to_pgm(-1.0, hi)).unwrap();
+    fs::write(
+        dir.join(format!("{tag}_reference.pgm")),
+        pair.reference.to_pgm(-1.0, hi),
+    )
+    .unwrap();
+    fs::write(
+        dir.join(format!("{tag}_observation.pgm")),
+        pair.observation.to_pgm(-1.0, hi),
+    )
+    .unwrap();
     fs::write(
         dir.join(format!("{tag}_difference.pgm")),
         diff.to_pgm(-hi / 4.0, hi / 4.0),
     )
     .unwrap();
 
-    println!(
+    progress!(
         "\n### {tag}: sample {} ({}), z = {:.2}, true mag(i) = {:.2}",
         s.id,
         s.sn.sn_type,
         s.sn.redshift,
         pair.true_mag
     );
-    println!("reference:");
+    progress!("reference:");
     print!("{}", pair.reference.to_ascii(32));
-    println!("observation:");
+    progress!("observation:");
     print!("{}", pair.observation.to_ascii(32));
-    println!("difference:");
+    progress!("difference:");
     print!("{}", diff.to_ascii(32));
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("fig5");
     let cfg = ExperimentConfig::from_env();
-    println!("# Figure 5 — example stamps (config: {:?})", cfg.dataset);
+    progress!("# Figure 5 — example stamps (config: {:?})", cfg.dataset);
     let ds = Dataset::generate(&cfg.dataset);
 
     let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results/fig5");
@@ -73,5 +83,5 @@ fn main() {
     dump_triplet(&ds, low, "low_z", &dir);
     dump_triplet(&ds, high, "high_z", &dir);
 
-    println!("\n[PGM images written to {}]", dir.display());
+    progress!("\n[PGM images written to {}]", dir.display());
 }

@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::flux_cnn::{FluxCnn, PoolKind};
 use snia_core::train::{flux_pair_refs, flux_predictions, train_flux_cnn, FluxTrainConfig};
 use snia_core::ExperimentConfig;
@@ -32,8 +32,12 @@ struct BinStat {
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("fig8");
     let cfg = ExperimentConfig::from_env();
-    println!("# Figure 8 — true vs. estimated magnitudes (config: {:?})", cfg.dataset);
+    progress!(
+        "# Figure 8 — true vs. estimated magnitudes (config: {:?})",
+        cfg.dataset
+    );
     let ds = Dataset::generate(&cfg.dataset);
     let (tr, va, te) = split_indices(ds.len(), cfg.seed);
 
@@ -55,9 +59,11 @@ fn main() {
     };
     let hist = train_flux_cnn(&mut cnn, &ds, &train_refs, &val_refs, &tcfg);
     for h in &hist {
-        println!(
+        progress!(
             "epoch {}: train {:.4}, val {:.4} (normalised)",
-            h.epoch, h.train_loss, h.val_loss
+            h.epoch,
+            h.train_loss,
+            h.val_loss
         );
     }
 
@@ -65,16 +71,8 @@ fn main() {
     // Only detectable points are meaningful for the scatter (the clamp at
     // mag 30 swamps the statistics otherwise) — the paper's Figure 8 also
     // spans only ~21-28 mag.
-    let detectable: Vec<(f64, f64)> = preds
-        .iter()
-        .copied()
-        .filter(|(t, _)| *t < 28.0)
-        .collect();
-    let mae = detectable
-        .iter()
-        .map(|(t, e)| (t - e).abs())
-        .sum::<f64>()
-        / detectable.len() as f64;
+    let detectable: Vec<(f64, f64)> = preds.iter().copied().filter(|(t, _)| *t < 28.0).collect();
+    let mae = detectable.iter().map(|(t, e)| (t - e).abs()).sum::<f64>() / detectable.len() as f64;
     let rmse = (detectable
         .iter()
         .map(|(t, e)| (t - e) * (t - e))
@@ -112,12 +110,16 @@ fn main() {
         mag += 1.0;
     }
     table.print("Figure 8 — calibration of estimated magnitudes (test set)");
-    println!("\nmean |error| = {mae:.3} mag (paper: 0.087 at full scale)");
-    println!("rmse        = {rmse:.3} mag");
+    progress!("\nmean |error| = {mae:.3} mag (paper: 0.087 at full scale)");
+    progress!("rmse        = {rmse:.3} mag");
     if let (Some(first), Some(last)) = (bins.first(), bins.last()) {
-        println!(
+        progress!(
             "variance grows toward faint objects: {} ({:.2} -> {:.2})",
-            if last.std_estimated > first.std_estimated { "yes" } else { "no" },
+            if last.std_estimated > first.std_estimated {
+                "yes"
+            } else {
+                "no"
+            },
             first.std_estimated,
             last.std_estimated
         );

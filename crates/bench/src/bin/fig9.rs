@@ -8,10 +8,12 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::classifier::LightCurveClassifier;
 use snia_core::eval::{auc, roc_curve};
-use snia_core::train::{classifier_scores, feature_matrix, train_classifier, ClassifierTrainConfig};
+use snia_core::train::{
+    classifier_scores, feature_matrix, train_classifier, ClassifierTrainConfig,
+};
 use snia_core::ExperimentConfig;
 use snia_dataset::{split_indices, Dataset};
 
@@ -23,8 +25,12 @@ struct WidthResult {
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("fig9");
     let cfg = ExperimentConfig::from_env();
-    println!("# Figure 9 — ROC vs. hidden units (config: {:?})", cfg.dataset);
+    progress!(
+        "# Figure 9 — ROC vs. hidden units (config: {:?})",
+        cfg.dataset
+    );
     let ds = Dataset::generate(&cfg.dataset);
     let (tr, va, te) = split_indices(ds.len(), cfg.seed);
     let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
@@ -50,7 +56,7 @@ fn main() {
             .step_by(8)
             .map(|p| (p.fpr, p.tpr))
             .collect();
-        println!("  hidden {hidden}: AUC {a:.3}");
+        progress!("  hidden {hidden}: AUC {a:.3}");
         table.row(vec![format!("{hidden}"), format!("{a:.3}")]);
         results.push(WidthResult {
             hidden_units: hidden,
@@ -59,6 +65,6 @@ fn main() {
         });
     }
     table.print("Figure 9 — single-epoch AUC vs. classifier width");
-    println!("\npaper: AUC 0.958 with 100 units; 100 units sufficient.");
+    progress!("\npaper: AUC 0.958 with 100 units; 100 units sufficient.");
     write_json("fig9", &results);
 }

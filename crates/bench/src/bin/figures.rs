@@ -8,9 +8,11 @@ use std::path::{Path, PathBuf};
 
 use serde_json::Value;
 
-use snia_bench::{Chart, Series};
+use snia_bench::{progress, Chart, Series};
 
-const COLORS: [&str; 6] = ["#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b"];
+const COLORS: [&str; 6] = [
+    "#1f77b4", "#d62728", "#2ca02c", "#9467bd", "#ff7f0e", "#8c564b",
+];
 
 fn results_dir() -> PathBuf {
     std::env::var("SNIA_RESULTS_DIR")
@@ -29,7 +31,7 @@ fn save(chart: &Chart, name: &str) {
     fs::create_dir_all(&dir).expect("cannot create figures dir");
     let path = dir.join(format!("{name}.svg"));
     fs::write(&path, chart.to_svg()).expect("cannot write figure");
-    println!("wrote {}", path.display());
+    progress!("wrote {}", path.display());
 }
 
 fn roc_points(v: &Value) -> Vec<(f64, f64)> {
@@ -99,19 +101,26 @@ fn fig11(v: &Value) {
         "true positive rate",
     );
     c.x_range(0.0, 1.0).y_range(0.0, 1.0);
-    c.push(Series::line(format!("joint model (AUC {auc:.3})"), roc, COLORS[0]));
-    c.push(Series::line("chance", vec![(0.0, 0.0), (1.0, 1.0)], "#bbbbbb"));
+    c.push(Series::line(
+        format!("joint model (AUC {auc:.3})"),
+        roc,
+        COLORS[0],
+    ));
+    c.push(Series::line(
+        "chance",
+        vec![(0.0, 0.0), (1.0, 1.0)],
+        "#bbbbbb",
+    ));
     save(&c, "fig11_roc");
 }
 
 fn fig12(v: &Value) {
     let curve = |key: &str, field: &str| -> Vec<(f64, f64)> {
-        v[key].as_array()
+        v[key]
+            .as_array()
             .map(|arr| {
                 arr.iter()
-                    .filter_map(|r| {
-                        Some((r["epoch"].as_f64()?, r[field].as_f64()?))
-                    })
+                    .filter_map(|r| Some((r["epoch"].as_f64()?, r[field].as_f64()?)))
                     .collect()
             })
             .unwrap_or_default()
@@ -135,8 +144,16 @@ fn fig12(v: &Value) {
         "epoch",
         "validation accuracy",
     );
-    a.push(Series::line("fine-tuned", curve("fine_tune", "val_acc"), COLORS[0]));
-    a.push(Series::line("from scratch", curve("from_scratch", "val_acc"), COLORS[1]));
+    a.push(Series::line(
+        "fine-tuned",
+        curve("fine_tune", "val_acc"),
+        COLORS[0],
+    ));
+    a.push(Series::line(
+        "from scratch",
+        curve("from_scratch", "val_acc"),
+        COLORS[1],
+    ));
     save(&a, "fig12_acc");
 }
 
@@ -159,9 +176,18 @@ fn table1(v: &Value) {
 }
 
 fn fig3(v: &Value) {
-    let bins: Vec<f64> = v["z_bins"].as_array().map(|a| a.iter().filter_map(Value::as_f64).collect()).unwrap_or_default();
-    let cat: Vec<f64> = v["catalog_z_hist"].as_array().map(|a| a.iter().filter_map(Value::as_f64).collect()).unwrap_or_default();
-    let ds: Vec<f64> = v["dataset_z_hist"].as_array().map(|a| a.iter().filter_map(Value::as_f64).collect()).unwrap_or_default();
+    let bins: Vec<f64> = v["z_bins"]
+        .as_array()
+        .map(|a| a.iter().filter_map(Value::as_f64).collect())
+        .unwrap_or_default();
+    let cat: Vec<f64> = v["catalog_z_hist"]
+        .as_array()
+        .map(|a| a.iter().filter_map(Value::as_f64).collect())
+        .unwrap_or_default();
+    let ds: Vec<f64> = v["dataset_z_hist"]
+        .as_array()
+        .map(|a| a.iter().filter_map(Value::as_f64).collect())
+        .unwrap_or_default();
     if bins.is_empty() || cat.len() != bins.len() || ds.len() != bins.len() {
         return;
     }
@@ -170,13 +196,22 @@ fn fig3(v: &Value) {
         "photometric redshift",
         "fraction",
     );
-    c.push(Series::line("catalog", bins.iter().copied().zip(cat).collect(), COLORS[3]));
-    c.push(Series::line("dataset hosts", bins.iter().copied().zip(ds).collect(), COLORS[4]));
+    c.push(Series::line(
+        "catalog",
+        bins.iter().copied().zip(cat).collect(),
+        COLORS[3],
+    ));
+    c.push(Series::line(
+        "dataset hosts",
+        bins.iter().copied().zip(ds).collect(),
+        COLORS[4],
+    ));
     save(&c, "fig3_photoz");
 }
 
 fn main() {
-    println!("# rendering SVG figures from results/*.json");
+    let _telemetry = snia_bench::init_telemetry("figures");
+    progress!("# rendering SVG figures from results/*.json");
     let mut rendered = 0;
     if let Some(v) = load("fig3") {
         fig3(&v);
@@ -191,11 +226,23 @@ fn main() {
         rendered += 1;
     }
     if let Some(v) = load("fig9") {
-        roc_family(&v, "width", "hidden_units", "Figure 9 — ROC vs. classifier width", "fig9_roc");
+        roc_family(
+            &v,
+            "width",
+            "hidden_units",
+            "Figure 9 — ROC vs. classifier width",
+            "fig9_roc",
+        );
         rendered += 1;
     }
     if let Some(v) = load("fig10") {
-        roc_family(&v, "epochs", "epochs", "Figure 10 — ROC vs. observation epochs", "fig10_roc");
+        roc_family(
+            &v,
+            "epochs",
+            "epochs",
+            "Figure 10 — ROC vs. observation epochs",
+            "fig10_roc",
+        );
         rendered += 1;
     }
     if let Some(v) = load("fig11") {
@@ -210,5 +257,5 @@ fn main() {
         eprintln!("no results found — run scripts/run_all.sh first");
         std::process::exit(1);
     }
-    println!("rendered from {rendered} result files");
+    progress!("rendered from {rendered} result files");
 }

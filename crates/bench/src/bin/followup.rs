@@ -16,9 +16,11 @@ use rand::SeedableRng;
 use serde::Serialize;
 
 use snia_baselines::poznanski::{epoch_observations, PoznanskiClassifier, PoznanskiConfig};
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::classifier::LightCurveClassifier;
-use snia_core::train::{classifier_scores, feature_matrix, train_classifier, ClassifierTrainConfig};
+use snia_core::train::{
+    classifier_scores, feature_matrix, train_classifier, ClassifierTrainConfig,
+};
 use snia_core::ExperimentConfig;
 use snia_dataset::{split_indices, Dataset};
 
@@ -38,8 +40,9 @@ fn purity_at(scores: &[f64], labels: &[bool], k: usize) -> (usize, f64) {
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("followup");
     let cfg = ExperimentConfig::from_env();
-    println!("# Follow-up selection (config: {:?})", cfg.dataset);
+    progress!("# Follow-up selection (config: {:?})", cfg.dataset);
     let ds = Dataset::generate(&cfg.dataset);
     let (tr, va, te) = split_indices(ds.len(), cfg.seed);
 
@@ -50,7 +53,7 @@ fn main() {
     let base_rate = labels.iter().filter(|&&l| l).count() as f64 / labels.len() as f64;
 
     // Proposed classifier on epoch-0 features.
-    println!("\n[1/2] proposed single-epoch classifier...");
+    progress!("\n[1/2] proposed single-epoch classifier...");
     let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
     let (xv, tv, _) = feature_matrix(&ds, &va, 1);
     let mut rng = StdRng::seed_from_u64(cfg.seed + 41);
@@ -74,7 +77,7 @@ fn main() {
     let ours = classifier_scores(&mut clf, &xe);
 
     // Poznanski without redshift, same first epoch.
-    println!("[2/2] Poznanski (no redshift)...");
+    progress!("[2/2] Poznanski (no redshift)...");
     let poz = PoznanskiClassifier::new(PoznanskiConfig::default());
     let poz_scores: Vec<f64> = te
         .iter()
@@ -105,10 +108,18 @@ fn main() {
         format!("{base_rate:.2}"),
     ]);
     table.print("Spectroscopy-budget purity (first epoch only)");
-    println!(
+    progress!(
         "\nshape checks: ours > random: {}; ours >= Poznanski no-z: {}",
-        if our_purity > base_rate + 0.05 { "yes" } else { "NO" },
-        if our_purity >= poz_purity - 0.02 { "yes" } else { "NO" }
+        if our_purity > base_rate + 0.05 {
+            "yes"
+        } else {
+            "NO"
+        },
+        if our_purity >= poz_purity - 0.02 {
+            "yes"
+        } else {
+            "NO"
+        }
     );
 
     write_json(

@@ -16,7 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::flux_cnn::{FluxCnn, PoolKind};
 use snia_core::train::{flux_pair_refs, flux_predictions, train_flux_cnn, FluxTrainConfig};
 use snia_core::ExperimentConfig;
@@ -35,20 +35,24 @@ struct PhotometryResult {
 
 fn error_stats(pairs: &[(f64, f64)]) -> (f64, f64) {
     let mae = pairs.iter().map(|(t, e)| (t - e).abs()).sum::<f64>() / pairs.len() as f64;
-    let rmse = (pairs.iter().map(|(t, e)| (t - e) * (t - e)).sum::<f64>() / pairs.len() as f64)
-        .sqrt();
+    let rmse =
+        (pairs.iter().map(|(t, e)| (t - e) * (t - e)).sum::<f64>() / pairs.len() as f64).sqrt();
     (mae, rmse)
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("photometry");
     let cfg = ExperimentConfig::from_env();
-    println!("# Photometry comparison (config: {:?})", cfg.dataset);
+    progress!("# Photometry comparison (config: {:?})", cfg.dataset);
     let ds = Dataset::generate(&cfg.dataset);
     let (tr, va, te) = split_indices(ds.len(), cfg.seed);
     let test_refs = flux_pair_refs(&ds, &te, 4, cfg.seed + 600);
 
     // --- classical photometry on the difference image ---
-    println!("\n[1/2] classical photometry on {} test pairs...", test_refs.len());
+    progress!(
+        "\n[1/2] classical photometry on {} test pairs...",
+        test_refs.len()
+    );
     let mut aperture_pairs = Vec::new();
     let mut psf_pairs = Vec::new();
     for &(si, oi) in &test_refs {
@@ -70,16 +74,19 @@ fn main() {
         );
         let ap = aperture_flux(&diff, cx_c, cy_c, r).max(0.05);
         aperture_pairs.push((pair.true_mag, flux_to_mag(ap).clamp(18.0, 30.0)));
-        let psf = Psf::Moffat { fwhm: seeing, beta: 3.0 };
+        let psf = Psf::Moffat {
+            fwhm: seeing,
+            beta: 3.0,
+        };
         let pf = psf_flux(&diff, &psf, cx, cy).max(0.05);
         psf_pairs.push((pair.true_mag, flux_to_mag(pf).clamp(18.0, 30.0)));
     }
     let (ap_mae, ap_rmse) = error_stats(&aperture_pairs);
     let (psf_mae, psf_rmse) = error_stats(&psf_pairs);
-    println!("    aperture: MAE {ap_mae:.3} mag; PSF: MAE {psf_mae:.3} mag");
+    progress!("    aperture: MAE {ap_mae:.3} mag; PSF: MAE {psf_mae:.3} mag");
 
     // --- the CNN, trained as in Figure 8 ---
-    println!("[2/2] training the flux CNN...");
+    progress!("[2/2] training the flux CNN...");
     let crop = 60;
     let train_refs = flux_pair_refs(&ds, &tr, 3, cfg.seed + 601);
     let val_refs = flux_pair_refs(&ds, &va, 2, cfg.seed + 602);
@@ -105,9 +112,14 @@ fn main() {
         .filter(|(t, _)| *t < 28.0)
         .collect();
     let (cnn_mae, cnn_rmse) = error_stats(&cnn_pairs);
-    println!("    CNN: MAE {cnn_mae:.3} mag");
+    progress!("    CNN: MAE {cnn_mae:.3} mag");
 
-    let mut table = Table::new(vec!["method", "MAE (mag)", "RMSE (mag)", "needs SN position?"]);
+    let mut table = Table::new(vec![
+        "method",
+        "MAE (mag)",
+        "RMSE (mag)",
+        "needs SN position?",
+    ]);
     table.row(vec![
         "aperture photometry".into(),
         format!("{ap_mae:.3}"),
@@ -127,10 +139,14 @@ fn main() {
         "no".into(),
     ]);
     table.print("Classical photometry vs. the flux CNN (test pairs, mag < 28)");
-    println!(
+    progress!(
         "\nshape checks: PSF < aperture error: {}; CNN within ~2x of PSF photometry: {}",
         if psf_mae <= ap_mae { "yes" } else { "NO" },
-        if cnn_mae <= 2.0 * psf_mae + 0.2 { "yes" } else { "NO" }
+        if cnn_mae <= 2.0 * psf_mae + 0.2 {
+            "yes"
+        } else {
+            "NO"
+        }
     );
 
     write_json(

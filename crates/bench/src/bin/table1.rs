@@ -9,7 +9,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::flux_cnn::{FluxCnn, PoolKind};
 use snia_core::train::{flux_loss, flux_pair_refs, train_flux_cnn, FluxTrainConfig};
 use snia_core::ExperimentConfig;
@@ -35,8 +35,9 @@ fn mean_std(v: &[f64]) -> (f64, f64) {
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("table1");
     let cfg = ExperimentConfig::from_env();
-    println!("# Table 1 — loss vs. crop size (config: {:?})", cfg.dataset);
+    progress!("# Table 1 — loss vs. crop size (config: {:?})", cfg.dataset);
     let ds = Dataset::generate(&cfg.dataset);
     let (tr, va, te) = split_indices(ds.len(), cfg.seed);
 
@@ -45,7 +46,7 @@ fn main() {
     let train_refs = flux_pair_refs(&ds, &tr, pairs_per_sample, cfg.seed + 100);
     let val_refs = flux_pair_refs(&ds, &va, pairs_per_sample, cfg.seed + 101);
     let test_refs = flux_pair_refs(&ds, &te, pairs_per_sample, cfg.seed + 102);
-    println!(
+    progress!(
         "pairs: train {}, val {}, test {}; seeds {}",
         train_refs.len(),
         val_refs.len(),
@@ -93,7 +94,7 @@ fn main() {
             format!("{vm:.1} ± {vs:.1}"),
             format!("{test_loss:.1}"),
         ]);
-        println!("  crop {crop}: val {vm:.1}e-3 mag^2");
+        progress!("  crop {crop}: val {vm:.1}e-3 mag^2");
         results.push(SizeResult {
             crop,
             train_loss_mean_e3: tm,
@@ -104,7 +105,7 @@ fn main() {
         });
     }
     table.print("Table 1 — mean loss for image sizes (10^-3 mag^2)");
-    println!("\npaper (10^-3): 36→11.5, 44→8.1, 52→8.7, 60→7.5, 65→7.7 (test)");
-    println!("shape check: larger crops should trend better (60/65 best).");
+    progress!("\npaper (10^-3): 36→11.5, 44→8.1, 52→8.7, 60→7.5, 65→7.7 (test)");
+    progress!("shape check: larger crops should trend better (60/65 best).");
     write_json("table1", &results);
 }

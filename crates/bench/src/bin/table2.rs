@@ -22,10 +22,12 @@ use snia_baselines::lochner::LochnerPipeline;
 use snia_baselines::poznanski::{epoch_observations, PoznanskiClassifier, PoznanskiConfig};
 use snia_baselines::random_forest::ForestConfig;
 use snia_baselines::rnn::{GruClassifier, GruTrainConfig};
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::classifier::LightCurveClassifier;
 use snia_core::eval::auc;
-use snia_core::train::{classifier_scores, feature_matrix, train_classifier, ClassifierTrainConfig};
+use snia_core::train::{
+    classifier_scores, feature_matrix, train_classifier, ClassifierTrainConfig,
+};
 use snia_core::ExperimentConfig;
 use snia_dataset::{split_indices, Dataset, EPOCHS_PER_BAND};
 
@@ -42,8 +44,9 @@ fn labels_of(ds: &Dataset, idx: &[usize]) -> Vec<bool> {
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("table2");
     let cfg = ExperimentConfig::from_env();
-    println!("# Table 2 — method comparison (config: {:?})", cfg.dataset);
+    progress!("# Table 2 — method comparison (config: {:?})", cfg.dataset);
     let ds = Dataset::generate(&cfg.dataset);
     let (tr, va, te) = split_indices(ds.len(), cfg.seed);
     let test_labels = labels_of(&ds, &te);
@@ -51,7 +54,7 @@ fn main() {
 
     // ---- Poznanski 2007: Bayesian single-epoch ----
     // Every test sample contributes its 4 single-epoch subsets.
-    println!("\n[1/5] Poznanski2007 (Bayesian single-epoch)...");
+    progress!("\n[1/5] Poznanski2007 (Bayesian single-epoch)...");
     let poz = PoznanskiClassifier::new(PoznanskiConfig::default());
     let mut scores_z = Vec::new();
     let mut scores_noz = Vec::new();
@@ -67,7 +70,7 @@ fn main() {
     }
     let auc_poz_z = auc(&scores_z, &labels_se);
     let auc_poz_noz = auc(&scores_noz, &labels_se);
-    println!("    with z: {auc_poz_z:.3}, without z: {auc_poz_noz:.3}");
+    progress!("    with z: {auc_poz_z:.3}, without z: {auc_poz_noz:.3}");
     rows.push(Row {
         method: "Poznanski2007".into(),
         features: "Single-epoch + redshift".into(),
@@ -82,7 +85,7 @@ fn main() {
     });
 
     // ---- Lochner 2016: template fits + random forest ----
-    println!("[2/5] Lochner2016 (template fits + random forest)...");
+    progress!("[2/5] Lochner2016 (template fits + random forest)...");
     let forest = ForestConfig {
         n_trees: 80,
         ..Default::default()
@@ -91,7 +94,7 @@ fn main() {
         let pipe = LochnerPipeline::fit(&ds, &tr, 4, use_z, &forest);
         let scores = pipe.score(&ds, &te);
         let a = auc(&scores, &test_labels);
-        println!("    {}: {a:.3}", if use_z { "with z" } else { "without z" });
+        progress!("    {}: {a:.3}", if use_z { "with z" } else { "without z" });
         rows.push(Row {
             method: "Lochner2016".into(),
             features: if use_z {
@@ -100,7 +103,12 @@ fn main() {
                 "Multi-epoch (4), w/o redshift".into()
             },
             auc: a,
-            paper_quote: if use_z { "0.984 (SNPCC)" } else { "0.976 (SNPCC)" }.into(),
+            paper_quote: if use_z {
+                "0.984 (SNPCC)"
+            } else {
+                "0.976 (SNPCC)"
+            }
+            .into(),
         });
     }
     // Möller2016 is methodologically the with-redshift tree pipeline.
@@ -112,7 +120,7 @@ fn main() {
     });
 
     // ---- Charnock & Moss 2016: recurrent sequences ----
-    println!("[3/5] Charnock2016 (GRU sequences)...");
+    progress!("[3/5] Charnock2016 (GRU sequences)...");
     let gcfg = GruTrainConfig {
         epochs: cfg.scaled(20),
         ..Default::default()
@@ -121,7 +129,7 @@ fn main() {
         let mut gru = GruClassifier::fit(&ds, &tr, 4, use_z, &gcfg);
         let scores = gru.score(&ds, &te);
         let a = auc(&scores, &test_labels);
-        println!("    {}: {a:.3}", if use_z { "with z" } else { "without z" });
+        progress!("    {}: {a:.3}", if use_z { "with z" } else { "without z" });
         rows.push(Row {
             method: "Charnock2016".into(),
             features: if use_z {
@@ -135,7 +143,7 @@ fn main() {
     }
 
     // ---- Proposed: light-curve-feature classifier ----
-    println!("[4/5] proposed single-epoch...");
+    progress!("[4/5] proposed single-epoch...");
     let (xt1, tt1, _) = feature_matrix(&ds, &tr, 1);
     let (xv1, tv1, _) = feature_matrix(&ds, &va, 1);
     let (xe1, _, le1) = feature_matrix(&ds, &te, 1);
@@ -149,7 +157,7 @@ fn main() {
     };
     train_classifier(&mut clf1, (&xt1, &tt1), (&xv1, &tv1), &ccfg);
     let auc_single = auc(&classifier_scores(&mut clf1, &xe1), &le1);
-    println!("    AUC {auc_single:.3}");
+    progress!("    AUC {auc_single:.3}");
     rows.push(Row {
         method: "Proposed".into(),
         features: "Single-epoch, w/o redshift".into(),
@@ -157,14 +165,14 @@ fn main() {
         paper_quote: "0.958".into(),
     });
 
-    println!("[5/5] proposed multi-epoch...");
+    progress!("[5/5] proposed multi-epoch...");
     let (xt4, tt4, _) = feature_matrix(&ds, &tr, 4);
     let (xv4, tv4, _) = feature_matrix(&ds, &va, 4);
     let (xe4, _, le4) = feature_matrix(&ds, &te, 4);
     let mut clf4 = LightCurveClassifier::new(4, 100, &mut rng);
     train_classifier(&mut clf4, (&xt4, &tt4), (&xv4, &tv4), &ccfg);
     let auc_multi = auc(&classifier_scores(&mut clf4, &xe4), &le4);
-    println!("    AUC {auc_multi:.3}");
+    progress!("    AUC {auc_multi:.3}");
     rows.push(Row {
         method: "Proposed".into(),
         features: "Multi-epoch (4), w/o redshift".into(),
@@ -183,10 +191,14 @@ fn main() {
     }
     table.print("Table 2 — comparisons with existing methods");
 
-    println!("\nordering checks (the paper's claims):");
-    println!(
+    progress!("\nordering checks (the paper's claims):");
+    progress!(
         "  (1) proposed single ≫ Poznanski w/o z: {} ({:.3} vs {:.3})",
-        if auc_single > auc_poz_noz + 0.05 { "yes" } else { "NO" },
+        if auc_single > auc_poz_noz + 0.05 {
+            "yes"
+        } else {
+            "NO"
+        },
         auc_single,
         auc_poz_noz
     );
@@ -195,13 +207,18 @@ fn main() {
         .filter(|r| r.features.starts_with("Multi-epoch") && r.method != "Proposed")
         .map(|r| r.auc)
         .fold(0.0, f64::max);
-    println!(
+    progress!(
         "  (2) proposed single comparable to multi-epoch baselines: {:.3} vs best baseline {:.3}",
-        auc_single, best_multi_baseline
+        auc_single,
+        best_multi_baseline
     );
-    println!(
+    progress!(
         "  (3) proposed multi best overall: {} ({:.3})",
-        if auc_multi >= best_multi_baseline - 0.005 { "yes" } else { "NO" },
+        if auc_multi >= best_multi_baseline - 0.005 {
+            "yes"
+        } else {
+            "NO"
+        },
         auc_multi
     );
 

@@ -14,7 +14,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::Serialize;
 
-use snia_bench::{write_json, Table};
+use snia_bench::{progress, write_json, Table};
 use snia_core::joint::JointModel;
 use snia_core::train::{joint_examples, joint_scores};
 use snia_core::ExperimentConfig;
@@ -34,10 +34,11 @@ struct ThroughputResult {
 }
 
 fn main() {
+    let _telemetry = snia_bench::init_telemetry("throughput");
     let mut cfg = ExperimentConfig::from_env();
     // Throughput needs only a handful of samples.
     cfg.dataset.n_samples = cfg.dataset.n_samples.min(64);
-    println!("# Inference throughput (single core, crop 60)");
+    progress!("# Inference throughput (single core, crop 60)");
     let ds = Dataset::generate(&cfg.dataset);
     let idx: Vec<usize> = (0..ds.len()).collect();
     let examples = joint_examples(&idx);
@@ -60,14 +61,20 @@ fn main() {
     let hours = ALERTS_PER_NIGHT / per_sec / 3600.0;
 
     let mut table = Table::new(vec!["metric", "value"]);
-    table.row(vec!["candidates / second (1 core)".into(), format!("{per_sec:.1}")]);
-    table.row(vec!["ms / candidate".into(), format!("{:.1}", 1000.0 / per_sec)]);
+    table.row(vec![
+        "candidates / second (1 core)".into(),
+        format!("{per_sec:.1}"),
+    ]);
+    table.row(vec![
+        "ms / candidate".into(),
+        format!("{:.1}", 1000.0 / per_sec),
+    ]);
     table.row(vec![
         format!("hours for {} nightly alerts", ALERTS_PER_NIGHT as u64),
         format!("{hours:.2}"),
     ]);
     table.print("Survey-scale inference throughput");
-    println!(
+    progress!(
         "\nverdict: a single CPU core {} keep up with an LSST night.",
         if hours < 12.0 { "CAN" } else { "CANNOT" }
     );

@@ -34,6 +34,8 @@
 
 pub mod plot;
 pub mod report;
+pub mod telemetry_setup;
 
 pub use plot::{Chart, Series};
-pub use report::{write_json, Table};
+pub use report::{results_dir, write_json, Table};
+pub use telemetry_setup::{init_telemetry, TelemetryGuard};

@@ -21,7 +21,11 @@ pub struct Series {
 
 impl Series {
     /// A connected line series.
-    pub fn line(label: impl Into<String>, points: Vec<(f64, f64)>, color: impl Into<String>) -> Self {
+    pub fn line(
+        label: impl Into<String>,
+        points: Vec<(f64, f64)>,
+        color: impl Into<String>,
+    ) -> Self {
         Series {
             label: label.into(),
             points,
@@ -102,14 +106,22 @@ impl Chart {
     }
 
     fn data_range(&self, axis: usize) -> (f64, f64) {
-        let fixed = if axis == 0 { self.x_range } else { self.y_range };
+        let fixed = if axis == 0 {
+            self.x_range
+        } else {
+            self.y_range
+        };
         if let Some(r) = fixed {
             return r;
         }
         let vals: Vec<f64> = self
             .series
             .iter()
-            .flat_map(|s| s.points.iter().map(move |p| if axis == 0 { p.0 } else { p.1 }))
+            .flat_map(|s| {
+                s.points
+                    .iter()
+                    .map(move |p| if axis == 0 { p.0 } else { p.1 })
+            })
             .filter(|v| v.is_finite())
             .collect();
         if vals.is_empty() {
@@ -266,7 +278,9 @@ fn fmt_tick(v: f64) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]
@@ -275,7 +289,11 @@ mod tests {
 
     fn chart() -> Chart {
         let mut c = Chart::new("ROC", "FPR", "TPR");
-        c.push(Series::line("model", vec![(0.0, 0.0), (0.2, 0.8), (1.0, 1.0)], "#1f77b4"));
+        c.push(Series::line(
+            "model",
+            vec![(0.0, 0.0), (0.2, 0.8), (1.0, 1.0)],
+            "#1f77b4",
+        ));
         c.push(Series::scatter("points", vec![(0.5, 0.5)], "#d62728"));
         c
     }

@@ -49,7 +49,11 @@ impl Table {
         let _ = writeln!(
             s,
             "|{}|",
-            self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|")
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
         );
         for r in &self.rows {
             let _ = writeln!(s, "| {} |", r.join(" | "));
@@ -65,8 +69,8 @@ impl Table {
 }
 
 /// Resolves the `results/` directory (workspace root), creating it if
-/// needed.
-fn results_dir() -> PathBuf {
+/// needed. `SNIA_RESULTS_DIR` overrides the location.
+pub fn results_dir() -> PathBuf {
     // The binaries run from the workspace; prefer ./results relative to
     // the cargo manifest dir's workspace root.
     let dir = std::env::var("SNIA_RESULTS_DIR")
@@ -111,7 +115,10 @@ mod tests {
 
     #[test]
     fn write_json_creates_file() {
-        std::env::set_var("SNIA_RESULTS_DIR", std::env::temp_dir().join("snia_results_test"));
+        std::env::set_var(
+            "SNIA_RESULTS_DIR",
+            std::env::temp_dir().join("snia_results_test"),
+        );
         write_json("unit_test", &serde_json::json!({"x": 1}));
         let p = std::env::temp_dir().join("snia_results_test/unit_test.json");
         assert!(p.exists());

@@ -189,11 +189,14 @@ pub fn handcrafted_features(example: &BogusExample) -> Vec<f64> {
     }
     let cx = (w as f64 - 1.0) / 2.0;
     let cy = (h as f64 - 1.0) / 2.0;
-    let off =
-        ((peak_xy.0 as f64 - cx).powi(2) + (peak_xy.1 as f64 - cy).powi(2)).sqrt();
+    let off = ((peak_xy.0 as f64 - cx).powi(2) + (peak_xy.1 as f64 - cy).powi(2)).sqrt();
     vec![
         f64::from(peak_sharpness(&d)),
-        if total > 0.0 { (pos - neg) / total } else { 0.0 },
+        if total > 0.0 {
+            (pos - neg) / total
+        } else {
+            0.0
+        },
         (1.0 + total).ln(),
         f64::from(peak.max(0.0)).ln_1p(),
         off,
@@ -256,8 +259,6 @@ mod tests {
                 .collect();
             v.iter().sum::<f64>() / v.len() as f64
         };
-        assert!(
-            mean_sharp(CandidateKind::HotPixel) > mean_sharp(CandidateKind::RealTransient)
-        );
+        assert!(mean_sharp(CandidateKind::HotPixel) > mean_sharp(CandidateKind::RealTransient));
     }
 }

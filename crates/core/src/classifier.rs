@@ -10,7 +10,7 @@ use snia_nn::{Mode, Param, Sequential, Tensor};
 /// fully-connected layer producing one logit.
 ///
 /// The input is `10·k`-dimensional for `k` observation epochs (5 magnitudes
-/// + 5 dates per epoch); Figure 9 varies the hidden width (100 units is
+/// and 5 dates per epoch); Figure 9 varies the hidden width (100 units is
 /// sufficient), Figure 10 varies `k`.
 #[derive(Debug)]
 pub struct LightCurveClassifier {

@@ -28,7 +28,9 @@ impl ExperimentConfig {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(20170101u64);
-        let full = std::env::var("SNIA_FULL").map(|v| v == "1").unwrap_or(false);
+        let full = std::env::var("SNIA_FULL")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         let scale: f64 = std::env::var("SNIA_SCALE")
             .ok()
             .and_then(|s| s.parse().ok())

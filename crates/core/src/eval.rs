@@ -89,7 +89,9 @@ pub fn auc(scores: &[f64], labels: &[bool]) -> f64 {
         }
         i = j;
     }
-    (rank_sum_pos - pos as f64 * (pos as f64 + 1.0) / 2.0) / (pos as f64 * neg as f64)
+    let a = (rank_sum_pos - pos as f64 * (pos as f64 + 1.0) / 2.0) / (pos as f64 * neg as f64);
+    snia_telemetry::gauge_set("eval.auc", a);
+    a
 }
 
 /// Classification accuracy at a fixed threshold.
@@ -164,7 +166,11 @@ pub fn mse(pred: &[f64], target: &[f64]) -> f64 {
 pub fn mae(pred: &[f64], target: &[f64]) -> f64 {
     assert_eq!(pred.len(), target.len(), "length mismatch");
     assert!(!pred.is_empty(), "empty inputs");
-    pred.iter().zip(target).map(|(p, t)| (p - t).abs()).sum::<f64>() / pred.len() as f64
+    pred.iter()
+        .zip(target)
+        .map(|(p, t)| (p - t).abs())
+        .sum::<f64>()
+        / pred.len() as f64
 }
 
 #[cfg(test)]
@@ -189,7 +195,9 @@ mod tests {
     fn random_scores_give_auc_half() {
         // Deterministic pseudo-random scores, labels independent of them.
         let n = 10_000;
-        let scores: Vec<f64> = (0..n).map(|i| ((i * 2654435761u64) % 1000) as f64).collect();
+        let scores: Vec<f64> = (0..n)
+            .map(|i| ((i * 2654435761u64) % 1000) as f64)
+            .collect();
         let labels: Vec<bool> = (0..n).map(|i| (i * 40503) % 7 < 3).collect();
         let a = auc(&scores, &labels);
         assert!((a - 0.5).abs() < 0.02, "auc {a}");
@@ -229,7 +237,9 @@ mod tests {
     #[test]
     fn roc_is_monotonic() {
         let scores = [0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2, 0.15, 0.1];
-        let labels = [true, false, true, true, false, true, false, false, true, false];
+        let labels = [
+            true, false, true, true, false, true, false, false, true, false,
+        ];
         let curve = roc_curve(&scores, &labels);
         for w in curve.windows(2) {
             assert!(w[1].fpr >= w[0].fpr && w[1].tpr >= w[0].tpr);

@@ -45,7 +45,11 @@ pub fn preprocess_with(
     log_stretch: bool,
 ) -> Image {
     let diff = observation.subtract(reference);
-    let diff = if log_stretch { diff.log_stretch() } else { diff };
+    let diff = if log_stretch {
+        diff.log_stretch()
+    } else {
+        diff
+    };
     diff.crop_center(crop)
 }
 

@@ -81,7 +81,10 @@ impl JointModel {
     /// Panics if the shapes are inconsistent.
     pub fn forward(&mut self, images: &Tensor, dates: &Tensor, mode: Mode) -> Tensor {
         let n5 = images.shape()[0];
-        assert!(n5 % 5 == 0, "image batch must be a multiple of 5, got {n5}");
+        assert!(
+            n5.is_multiple_of(5),
+            "image batch must be a multiple of 5, got {n5}"
+        );
         let n = n5 / 5;
         assert_eq!(dates.shape(), &[n, 5], "dates shape mismatch");
         let mags = self.cnn.forward(images, mode); // (5N, 1)

@@ -141,16 +141,23 @@ pub fn train_flux_cnn(
     val_refs: &[(usize, usize)],
     cfg: &FluxTrainConfig,
 ) -> Vec<TrainRecord> {
-    assert!(!train_refs.is_empty() && !val_refs.is_empty(), "empty split");
+    assert!(
+        !train_refs.is_empty() && !val_refs.is_empty(),
+        "empty split"
+    );
+    let _fit = snia_telemetry::span!("fit", model = "flux_cnn", epochs = cfg.epochs);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
     let mut order: Vec<usize> = (0..train_refs.len()).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _epoch_span = snia_telemetry::span!("epoch", epoch = epoch);
+        let epoch_start = std::time::Instant::now();
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
         for chunk in order.chunks(cfg.batch_size) {
+            let _batch_span = snia_telemetry::span!("batch", batch = batches, size = chunk.len());
             let refs: Vec<(usize, usize)> = chunk.iter().map(|&i| train_refs[i]).collect();
             let (mut x, t) = render_flux_batch(ds, &refs, cfg.crop);
             if cfg.augment {
@@ -164,7 +171,10 @@ pub fn train_flux_cnn(
                     );
                 }
             }
-            let y = cnn.forward(&x, Mode::Train);
+            let y = {
+                let _t = snia_telemetry::timer("nn.forward_ns");
+                cnn.forward(&x, Mode::Train)
+            };
             let (loss, grad) = mse_loss(&y, &t);
             cnn.zero_grad();
             cnn.backward(&grad);
@@ -172,16 +182,35 @@ pub fn train_flux_cnn(
             loss_sum += f64::from(loss);
             batches += 1;
         }
+        record_epoch_rate(order.len(), batches, epoch_start);
         let val_loss = flux_loss(cnn, ds, val_refs, cfg.crop, cfg.batch_size);
-        history.push(TrainRecord {
+        let rec = TrainRecord {
             epoch,
             train_loss: loss_sum / batches as f64,
             val_loss,
             train_acc: f64::NAN,
             val_acc: f64::NAN,
-        });
+        };
+        snia_telemetry::record("train_epoch", &rec);
+        history.push(rec);
     }
     history
+}
+
+/// Per-epoch throughput bookkeeping shared by the three training loops:
+/// the `train.samples_per_sec` gauge (latest epoch, emitted to sinks) and
+/// histogram (distribution over epochs), plus the batch counter.
+fn record_epoch_rate(samples: usize, batches: usize, epoch_start: std::time::Instant) {
+    if !snia_telemetry::enabled() {
+        return;
+    }
+    snia_telemetry::counter_add("train.batches_total", batches as u64);
+    let secs = epoch_start.elapsed().as_secs_f64();
+    if secs > 0.0 {
+        let rate = samples as f64 / secs;
+        snia_telemetry::gauge_set("train.samples_per_sec", rate);
+        snia_telemetry::observe("train.samples_per_sec", rate);
+    }
 }
 
 /// Mean MSE loss (normalised-target units) of the CNN on a reference list.
@@ -218,10 +247,7 @@ pub fn flux_predictions(
         let (x, t) = render_flux_batch(ds, chunk, crop);
         let y = cnn.forward(&x, Mode::Eval);
         for i in 0..chunk.len() {
-            out.push((
-                target_to_mag(t.data()[i]),
-                target_to_mag(y.data()[i]),
-            ));
+            out.push((target_to_mag(t.data()[i]), target_to_mag(y.data()[i])));
         }
     }
     out
@@ -238,8 +264,15 @@ pub fn flux_predictions(
 /// each sample contributes one example of epochs `0..k` concatenated.
 ///
 /// Returns `(inputs, targets, labels)` with inputs `(N, 10·k)`.
-pub fn feature_matrix(ds: &Dataset, sample_indices: &[usize], k: usize) -> (Tensor, Tensor, Vec<bool>) {
-    assert!(k >= 1 && k <= EPOCHS_PER_BAND, "invalid epoch count {k}");
+pub fn feature_matrix(
+    ds: &Dataset,
+    sample_indices: &[usize],
+    k: usize,
+) -> (Tensor, Tensor, Vec<bool>) {
+    assert!(
+        (1..=EPOCHS_PER_BAND).contains(&k),
+        "invalid epoch count {k}"
+    );
     let mut rows: Vec<f32> = Vec::new();
     let mut targets: Vec<f32> = Vec::new();
     let mut labels = Vec::new();
@@ -312,20 +345,30 @@ pub fn train_classifier(
 ) -> Vec<TrainRecord> {
     let (x_train, t_train) = train;
     let (x_val, t_val) = val;
-    assert!(x_train.shape()[0] > 0 && x_val.shape()[0] > 0, "empty split");
+    assert!(
+        x_train.shape()[0] > 0 && x_val.shape()[0] > 0,
+        "empty split"
+    );
+    let _fit = snia_telemetry::span!("fit", model = "classifier", epochs = cfg.epochs);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
     let n = x_train.shape()[0];
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _epoch_span = snia_telemetry::span!("epoch", epoch = epoch);
+        let epoch_start = std::time::Instant::now();
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(cfg.batch_size) {
+            let _batch_span = snia_telemetry::span!("batch", batch = batches, size = chunk.len());
             let xb = rows_of(x_train, chunk);
             let tb = rows_of(t_train, chunk);
-            let y = clf.forward(&xb, Mode::Train);
+            let y = {
+                let _t = snia_telemetry::timer("nn.forward_ns");
+                clf.forward(&xb, Mode::Train)
+            };
             let (loss, grad) = bce_with_logits(&y, &tb);
             clf.zero_grad();
             clf.backward(&grad);
@@ -333,25 +376,24 @@ pub fn train_classifier(
             loss_sum += f64::from(loss);
             batches += 1;
         }
+        record_epoch_rate(order.len(), batches, epoch_start);
         let (val_loss, val_acc) = classifier_loss_acc(clf, x_val, t_val);
         let (_, train_acc) = classifier_loss_acc(clf, x_train, t_train);
-        history.push(TrainRecord {
+        let rec = TrainRecord {
             epoch,
             train_loss: loss_sum / batches as f64,
             val_loss,
             train_acc,
             val_acc,
-        });
+        };
+        snia_telemetry::record("train_epoch", &rec);
+        history.push(rec);
     }
     history
 }
 
 /// BCE loss and 0.5-threshold accuracy of the classifier on a feature set.
-pub fn classifier_loss_acc(
-    clf: &mut LightCurveClassifier,
-    x: &Tensor,
-    t: &Tensor,
-) -> (f64, f64) {
+pub fn classifier_loss_acc(clf: &mut LightCurveClassifier, x: &Tensor, t: &Tensor) -> (f64, f64) {
     let y = clf.forward(x, Mode::Eval);
     let (loss, _) = bce_with_logits(&y, t);
     let probs = sigmoid_probs(&y);
@@ -367,7 +409,11 @@ pub fn classifier_loss_acc(
 /// Classifier probabilities on a feature matrix.
 pub fn classifier_scores(clf: &mut LightCurveClassifier, x: &Tensor) -> Vec<f64> {
     let y = clf.forward(x, Mode::Eval);
-    sigmoid_probs(&y).data().iter().map(|&p| f64::from(p)).collect()
+    sigmoid_probs(&y)
+        .data()
+        .iter()
+        .map(|&p| f64::from(p))
+        .collect()
 }
 
 // ---------------------------------------------------------------------------
@@ -387,7 +433,12 @@ pub struct JointExample {
 pub fn joint_examples(sample_indices: &[usize]) -> Vec<JointExample> {
     sample_indices
         .iter()
-        .flat_map(|&si| (0..EPOCHS_PER_BAND).map(move |e| JointExample { sample: si, epoch: e }))
+        .flat_map(|&si| {
+            (0..EPOCHS_PER_BAND).map(move |e| JointExample {
+                sample: si,
+                epoch: e,
+            })
+        })
         .collect()
 }
 
@@ -443,20 +494,27 @@ pub fn train_joint(
     cfg: &ClassifierTrainConfig,
 ) -> Vec<TrainRecord> {
     assert!(!train_ex.is_empty() && !val_ex.is_empty(), "empty split");
+    let _fit = snia_telemetry::span!("fit", model = "joint", epochs = cfg.epochs);
     let crop = jm.crop();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
     let mut order: Vec<usize> = (0..train_ex.len()).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
+        let _epoch_span = snia_telemetry::span!("epoch", epoch = epoch);
+        let epoch_start = std::time::Instant::now();
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0;
         let mut acc_sum = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(cfg.batch_size) {
+            let _batch_span = snia_telemetry::span!("batch", batch = batches, size = chunk.len());
             let exs: Vec<JointExample> = chunk.iter().map(|&i| train_ex[i]).collect();
             let (images, dates, targets, _) = joint_batch(ds, &exs, crop);
-            let y = jm.forward(&images, &dates, Mode::Train);
+            let y = {
+                let _t = snia_telemetry::timer("nn.forward_ns");
+                jm.forward(&images, &dates, Mode::Train)
+            };
             let (loss, grad) = bce_with_logits(&y, &targets);
             jm.zero_grad();
             jm.backward(&grad);
@@ -472,14 +530,17 @@ pub fn train_joint(
             acc_sum += correct as f64 / targets.len() as f64;
             batches += 1;
         }
+        record_epoch_rate(order.len(), batches, epoch_start);
         let (val_loss, val_acc) = joint_loss_acc(jm, ds, val_ex, cfg.batch_size);
-        history.push(TrainRecord {
+        let rec = TrainRecord {
             epoch,
             train_loss: loss_sum / batches as f64,
             val_loss,
             train_acc: acc_sum / batches as f64,
             val_acc,
-        });
+        };
+        snia_telemetry::record("train_epoch", &rec);
+        history.push(rec);
     }
     history
 }
@@ -642,8 +703,20 @@ mod tests {
     fn joint_examples_expand_epochs() {
         let ex = joint_examples(&[3, 5]);
         assert_eq!(ex.len(), 8);
-        assert_eq!(ex[0], JointExample { sample: 3, epoch: 0 });
-        assert_eq!(ex[7], JointExample { sample: 5, epoch: 3 });
+        assert_eq!(
+            ex[0],
+            JointExample {
+                sample: 3,
+                epoch: 0
+            }
+        );
+        assert_eq!(
+            ex[7],
+            JointExample {
+                sample: 5,
+                epoch: 3
+            }
+        );
     }
 
     #[test]

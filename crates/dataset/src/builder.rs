@@ -70,6 +70,12 @@ impl Dataset {
     ///
     /// Panics if the configuration is degenerate (zero samples or catalog).
     pub fn generate(config: &DatasetConfig) -> Self {
+        let _span = snia_telemetry::span!(
+            "dataset.generate",
+            n_samples = config.n_samples,
+            catalog_size = config.catalog_size,
+            seed = config.seed,
+        );
         assert!(config.n_samples > 0, "need at least one sample");
         assert!(config.catalog_size > 0, "need a non-empty catalog");
         let catalog = GalaxyCatalog::generate(config.catalog_size, config.seed);
@@ -77,12 +83,13 @@ impl Dataset {
         let samples = (0..config.n_samples)
             .map(|i| Self::generate_sample(i as u64, &catalog, &mut rng))
             .collect();
+        snia_telemetry::counter_add("dataset.samples_total", config.n_samples as u64);
         Dataset { catalog, samples }
     }
 
     fn generate_sample(id: u64, catalog: &GalaxyCatalog, rng: &mut StdRng) -> SampleSpec {
         let galaxy = *catalog.sample(rng);
-        let sn_type = if id % 2 == 0 {
+        let sn_type = if id.is_multiple_of(2) {
             SnType::Ia
         } else {
             sample_non_ia_type(rng)

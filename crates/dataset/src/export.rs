@@ -96,14 +96,20 @@ pub fn from_snpcc(text: &str) -> Result<ParsedLightCurve, String> {
             if parts.len() != 4 {
                 return Err(format!("bad OBS row: {v}"));
             }
-            let mjd: f64 = parts[0].parse().map_err(|_| format!("bad MJD: {}", parts[0]))?;
+            let mjd: f64 = parts[0]
+                .parse()
+                .map_err(|_| format!("bad MJD: {}", parts[0]))?;
             let band = Band::ALL
                 .iter()
                 .copied()
                 .find(|b| b.label() == parts[1])
                 .ok_or_else(|| format!("unknown band: {}", parts[1]))?;
-            let flux: f64 = parts[2].parse().map_err(|_| format!("bad flux: {}", parts[2]))?;
-            let mag: f64 = parts[3].parse().map_err(|_| format!("bad mag: {}", parts[3]))?;
+            let flux: f64 = parts[2]
+                .parse()
+                .map_err(|_| format!("bad flux: {}", parts[2]))?;
+            let mag: f64 = parts[3]
+                .parse()
+                .map_err(|_| format!("bad mag: {}", parts[3]))?;
             points.push((band, mjd, flux, mag));
         }
     }

@@ -82,7 +82,7 @@ pub fn epoch_features(spec: &SampleSpec, k: usize) -> FeatureVector {
 /// Panics if `k` is zero or exceeds the number of epochs.
 pub fn multi_epoch_input(spec: &SampleSpec, k: usize) -> Vec<f32> {
     assert!(
-        k >= 1 && k <= crate::schedule::EPOCHS_PER_BAND,
+        (1..=crate::schedule::EPOCHS_PER_BAND).contains(&k),
         "epoch count {k} out of range"
     );
     let mut out = Vec::with_capacity(10 * k);
@@ -172,7 +172,12 @@ mod tests {
             }
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
-        assert!(mean(&ia) < mean(&non), "Ia {} vs non-Ia {}", mean(&ia), mean(&non));
+        assert!(
+            mean(&ia) < mean(&non),
+            "Ia {} vs non-Ia {}",
+            mean(&ia),
+            mean(&non)
+        );
     }
 
     #[test]

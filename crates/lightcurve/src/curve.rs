@@ -194,7 +194,10 @@ mod tests {
     fn long_before_explosion_is_undetectable() {
         let lc = ia_at(0.5);
         let early = lc.mag(Band::R, 100.0 - 120.0);
-        assert!(early > 30.0, "pre-explosion mag {early} should be far below detection");
+        assert!(
+            early > 30.0,
+            "pre-explosion mag {early} should be far below detection"
+        );
     }
 
     #[test]

@@ -216,7 +216,11 @@ mod tests {
         let pts = synthetic_points(SnType::Ia, 0.5, 59_031.7, 1.12);
         let fit = fit_continuous(&pts, SnType::Ia, 0.5);
         assert!(fit.chi2 < 1.0, "chi2 {}", fit.chi2);
-        assert!((fit.peak_mjd - 59_031.7).abs() < 1.0, "peak {}", fit.peak_mjd);
+        assert!(
+            (fit.peak_mjd - 59_031.7).abs() < 1.0,
+            "peak {}",
+            fit.peak_mjd
+        );
         assert!((fit.stretch - 1.12).abs() < 0.05, "stretch {}", fit.stretch);
         assert!(fit.offset.abs() < 0.05, "offset {}", fit.offset);
     }
@@ -236,7 +240,12 @@ mod tests {
         let pts = synthetic_points(SnType::Ia, 0.5, 59_030.0, 1.0);
         let ia = fit_continuous(&pts, SnType::Ia, 0.5);
         let iip = fit_continuous(&pts, SnType::IIP, 0.5);
-        assert!(iip.chi2 > ia.chi2 * 3.0 + 10.0, "IIP {} vs Ia {}", iip.chi2, ia.chi2);
+        assert!(
+            iip.chi2 > ia.chi2 * 3.0 + 10.0,
+            "IIP {} vs Ia {}",
+            iip.chi2,
+            ia.chi2
+        );
     }
 
     #[test]

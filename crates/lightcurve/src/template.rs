@@ -189,8 +189,7 @@ mod tests {
         let after = delta_mag(SnType::Ia, 1.0, 900.0, 35.0);
         assert!(bump < before || bump < after, "no secondary max in z band");
         // In g the decline is monotonic.
-        let g = [10.0, 14.0, 18.0, 22.0, 26.0, 30.0]
-            .map(|t| delta_mag(SnType::Ia, 1.0, 480.0, t));
+        let g = [10.0, 14.0, 18.0, 22.0, 26.0, 30.0].map(|t| delta_mag(SnType::Ia, 1.0, 480.0, t));
         assert!(g.windows(2).all(|w| w[0] <= w[1] + 1e-9));
     }
 
@@ -237,8 +236,14 @@ mod tests {
         let mid = peak_abs_mag(SnType::Ia, 550.0);
         assert!(mid > -19.30 && mid < -19.25);
         // Clamped outside the table.
-        assert_eq!(peak_abs_mag(SnType::Ia, 300.0), peak_abs_mag(SnType::Ia, 480.0));
-        assert_eq!(peak_abs_mag(SnType::Ia, 2000.0), peak_abs_mag(SnType::Ia, 1000.0));
+        assert_eq!(
+            peak_abs_mag(SnType::Ia, 300.0),
+            peak_abs_mag(SnType::Ia, 480.0)
+        );
+        assert_eq!(
+            peak_abs_mag(SnType::Ia, 2000.0),
+            peak_abs_mag(SnType::Ia, 1000.0)
+        );
     }
 
     #[test]

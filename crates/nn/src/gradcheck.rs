@@ -15,7 +15,9 @@ fn readout_coeffs(n: usize) -> Vec<f32> {
     let mut state: u64 = 0x9E37_79B9_7F4A_7C15;
     (0..n)
         .map(|_| {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) as f32 / (u32::MAX >> 1) as f32) - 1.0
         })
         .collect()
@@ -109,12 +111,7 @@ pub fn check_layer_gradients(mut layer: Box<dyn Layer>, x: &Tensor, eps: f32, to
 /// # Panics
 ///
 /// Panics if any element disagrees beyond `tol`.
-pub fn check_loss_gradient(
-    f: impl Fn(&Tensor) -> (f32, Tensor),
-    x: &Tensor,
-    eps: f32,
-    tol: f32,
-) {
+pub fn check_loss_gradient(f: impl Fn(&Tensor) -> (f32, Tensor), x: &Tensor, eps: f32, tol: f32) {
     let (_, grad) = f(x);
     assert_eq!(grad.shape(), x.shape(), "loss gradient shape mismatch");
     let mut xp = x.clone();

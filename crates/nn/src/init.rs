@@ -101,7 +101,10 @@ mod tests {
         let t = he_normal(&mut rng, vec![100, 100], 100);
         let std = (t.data().iter().map(|x| x * x).sum::<f32>() / t.len() as f32).sqrt();
         let expected = (2.0f32 / 100.0).sqrt();
-        assert!((std - expected).abs() < 0.02 * expected.max(0.1), "std {std} vs {expected}");
+        assert!(
+            (std - expected).abs() < 0.02 * expected.max(0.1),
+            "std {std} vs {expected}"
+        );
     }
 
     #[test]

@@ -95,13 +95,16 @@ impl Layer for BatchNorm {
         let mut out = Tensor::zeros(input.shape().to_vec());
 
         let (mean, var) = if mode == Mode::Train {
-            assert!(n * l > 1, "BatchNorm training requires more than one value per channel");
+            assert!(
+                n * l > 1,
+                "BatchNorm training requires more than one value per channel"
+            );
             let mut mean = vec![0.0f32; c];
             let mut var = vec![0.0f32; c];
             for ni in 0..n {
-                for ci in 0..c {
+                for (ci, m) in mean.iter_mut().enumerate() {
                     let off = (ni * c + ci) * l;
-                    mean[ci] += data[off..off + l].iter().sum::<f32>();
+                    *m += data[off..off + l].iter().sum::<f32>();
                 }
             }
             for v in &mut mean {
@@ -110,7 +113,10 @@ impl Layer for BatchNorm {
             for ni in 0..n {
                 for ci in 0..c {
                     let off = (ni * c + ci) * l;
-                    var[ci] += data[off..off + l].iter().map(|x| (x - mean[ci]).powi(2)).sum::<f32>();
+                    var[ci] += data[off..off + l]
+                        .iter()
+                        .map(|x| (x - mean[ci]).powi(2))
+                        .sum::<f32>();
                 }
             }
             for v in &mut var {
@@ -120,7 +126,11 @@ impl Layer for BatchNorm {
                 self.running_mean[ci] =
                     (1.0 - self.momentum) * self.running_mean[ci] + self.momentum * mean[ci];
                 // Unbiased variance for the running estimate, as in PyTorch.
-                let unbiased = if m > 1.0 { var[ci] * m / (m - 1.0) } else { var[ci] };
+                let unbiased = if m > 1.0 {
+                    var[ci] * m / (m - 1.0)
+                } else {
+                    var[ci]
+                };
                 self.running_var[ci] =
                     (1.0 - self.momentum) * self.running_var[ci] + self.momentum * unbiased;
             }
@@ -180,9 +190,9 @@ impl Layer for BatchNorm {
         for ni in 0..n {
             for ci in 0..c {
                 let off = (ni * c + ci) * l;
-                for j in off..off + l {
-                    sum_dy[ci] += go[j];
-                    sum_dy_xhat[ci] += go[j] * cache.xhat[j];
+                for (g, xh) in go[off..off + l].iter().zip(&cache.xhat[off..off + l]) {
+                    sum_dy[ci] += g;
+                    sum_dy_xhat[ci] += g * xh;
                 }
             }
         }

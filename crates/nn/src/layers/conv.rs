@@ -127,6 +127,9 @@ impl Conv2d {
                         }
                         let src_row = &plane[iy as usize * w..(iy as usize + 1) * w];
                         let dst_row = &mut dst[oy * out_w..(oy + 1) * out_w];
+                        // Explicit indices: ox maps to a *shifted* source
+                        // column, which iterator adapters would obscure.
+                        #[allow(clippy::needless_range_loop)]
                         for ox in 0..out_w {
                             let ix = ox as isize + kx as isize - pad;
                             if ix >= 0 && ix < w as isize {
@@ -168,6 +171,7 @@ impl Conv2d {
                         }
                         let dst_row = &mut plane[iy as usize * w..(iy as usize + 1) * w];
                         let src_row = &src[oy * out_w..(oy + 1) * out_w];
+                        #[allow(clippy::needless_range_loop)]
                         for ox in 0..out_w {
                             let ix = ox as isize + kx as isize - pad;
                             if ix >= 0 && ix < w as isize {
@@ -183,7 +187,12 @@ impl Conv2d {
 
 impl Layer for Conv2d {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        assert_eq!(input.ndim(), 4, "Conv2d expects (N, C, H, W), got {:?}", input.shape());
+        assert_eq!(
+            input.ndim(),
+            4,
+            "Conv2d expects (N, C, H, W), got {:?}",
+            input.shape()
+        );
         let (n, c, h, w) = (
             input.shape()[0],
             input.shape()[1],
@@ -192,7 +201,11 @@ impl Layer for Conv2d {
         );
         assert_eq!(c, self.in_channels, "Conv2d channel mismatch");
         let (out_h, out_w) = self.out_size(h, w);
-        assert!(out_h > 0 && out_w > 0, "input {h}x{w} too small for kernel {}", self.kernel);
+        assert!(
+            out_h > 0 && out_w > 0,
+            "input {h}x{w} too small for kernel {}",
+            self.kernel
+        );
         let ckk = self.in_channels * self.kernel * self.kernel;
         let ow_len = out_h * out_w;
 
@@ -202,8 +215,8 @@ impl Layer for Conv2d {
         for ni in 0..n {
             let sample = &input.data()[ni * c * h * w..(ni + 1) * c * h * w];
             let col = self.im2col(sample, h, w, out_h, out_w);
-            let out_sample =
-                &mut out.data_mut()[ni * self.out_channels * ow_len..(ni + 1) * self.out_channels * ow_len];
+            let out_sample = &mut out.data_mut()
+                [ni * self.out_channels * ow_len..(ni + 1) * self.out_channels * ow_len];
             matmul_into(
                 self.weight.value.data(),
                 &col,
@@ -375,7 +388,10 @@ mod tests {
     fn forward_matches_naive_valid() {
         let mut rng = StdRng::seed_from_u64(5);
         let mut conv = fixed_conv(2, 3, 3, Padding::Valid);
-        conv.bias.value.data_mut().copy_from_slice(&[0.1, -0.2, 0.3]);
+        conv.bias
+            .value
+            .data_mut()
+            .copy_from_slice(&[0.1, -0.2, 0.3]);
         let x = init::randn_tensor(&mut rng, vec![2, 2, 6, 7], 1.0);
         let y = conv.forward(&x, Mode::Eval);
         let expected = naive_conv(&x, &conv.weight.value, &conv.bias.value, 3, 0, 3);

@@ -49,7 +49,13 @@ impl Layer for Dropout {
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         let mask_data: Vec<f32> = (0..input.len())
-            .map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 })
+            .map(|_| {
+                if self.rng.gen::<f32>() < keep {
+                    scale
+                } else {
+                    0.0
+                }
+            })
             .collect();
         let mask = Tensor::from_vec(input.shape().to_vec(), mask_data);
         let out = input * &mask;

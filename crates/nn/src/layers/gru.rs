@@ -63,7 +63,8 @@ impl Gru {
     pub fn new<R: Rng + ?Sized>(input_size: usize, hidden_size: usize, rng: &mut R) -> Self {
         assert!(input_size > 0 && hidden_size > 0, "sizes must be positive");
         let fan_in = input_size + hidden_size;
-        let mk = |rng: &mut R| init::xavier_uniform(rng, vec![hidden_size, fan_in], fan_in, hidden_size);
+        let mk =
+            |rng: &mut R| init::xavier_uniform(rng, vec![hidden_size, fan_in], fan_in, hidden_size);
         Gru {
             wz: Param::new("wz", mk(rng)),
             bz: Param::new("bz", Tensor::zeros(vec![hidden_size])),
@@ -108,7 +109,12 @@ impl Gru {
 
 impl Layer for Gru {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        assert_eq!(input.ndim(), 3, "Gru expects (N, T, F), got {:?}", input.shape());
+        assert_eq!(
+            input.ndim(),
+            3,
+            "Gru expects (N, T, F), got {:?}",
+            input.shape()
+        );
         let (n, t_len, f) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         assert_eq!(f, self.input_size, "Gru input size mismatch");
         assert!(t_len > 0, "Gru requires at least one timestep");
@@ -208,7 +214,8 @@ impl Layer for Gru {
 
             // Input gradient at step t.
             for ni in 0..n {
-                let dst = &mut grad_input.data_mut()[(ni * t_len + t) * f..(ni * t_len + t + 1) * f];
+                let dst =
+                    &mut grad_input.data_mut()[(ni * t_len + t) * f..(ni * t_len + t + 1) * f];
                 for (d, (&a, &b)) in dst.iter_mut().zip(
                     dx_h.data()[ni * f..(ni + 1) * f]
                         .iter()

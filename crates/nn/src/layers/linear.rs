@@ -41,7 +41,10 @@ impl Linear {
     ///
     /// Panics if either feature count is zero.
     pub fn new<R: Rng + ?Sized>(in_features: usize, out_features: usize, rng: &mut R) -> Self {
-        assert!(in_features > 0 && out_features > 0, "feature counts must be positive");
+        assert!(
+            in_features > 0 && out_features > 0,
+            "feature counts must be positive"
+        );
         let weight = init::he_normal(rng, vec![out_features, in_features], in_features);
         Linear {
             weight: Param::new("weight", weight),
@@ -111,7 +114,12 @@ impl Linear {
 
 impl Layer for Linear {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        assert_eq!(input.ndim(), 2, "Linear expects (N, F) input, got {:?}", input.shape());
+        assert_eq!(
+            input.ndim(),
+            2,
+            "Linear expects (N, F) input, got {:?}",
+            input.shape()
+        );
         assert_eq!(
             input.shape()[1],
             self.in_features,

@@ -120,7 +120,12 @@ impl Lstm {
 
 impl Layer for Lstm {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        assert_eq!(input.ndim(), 3, "Lstm expects (N, T, F), got {:?}", input.shape());
+        assert_eq!(
+            input.ndim(),
+            3,
+            "Lstm expects (N, T, F), got {:?}",
+            input.shape()
+        );
         let (n, t_len, f) = (input.shape()[0], input.shape()[1], input.shape()[2]);
         assert_eq!(f, self.input_size, "Lstm input size mismatch");
         assert!(t_len > 0, "Lstm requires at least one timestep");

@@ -36,7 +36,10 @@ impl MaxPool2d {
     /// Panics if `window == 0`.
     pub fn new(window: usize) -> Self {
         assert!(window > 0, "window must be positive");
-        MaxPool2d { window, cache: None }
+        MaxPool2d {
+            window,
+            cache: None,
+        }
     }
 
     /// Output spatial size for an input size.
@@ -55,7 +58,11 @@ impl Layer for MaxPool2d {
             input.shape()[3],
         );
         let (oh, ow) = self.out_size(h, w);
-        assert!(oh > 0 && ow > 0, "input {h}x{w} smaller than window {}", self.window);
+        assert!(
+            oh > 0 && ow > 0,
+            "input {h}x{w} smaller than window {}",
+            self.window
+        );
         let k = self.window;
         let mut out = Tensor::zeros(vec![n, c, oh, ow]);
         let mut argmax = vec![0usize; n * c * oh * ow];

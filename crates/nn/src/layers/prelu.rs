@@ -141,7 +141,10 @@ mod tests {
     #[test]
     fn channelwise_uses_one_slope_per_channel() {
         let mut p = PRelu::channelwise(2);
-        p.params_mut()[0].value.data_mut().copy_from_slice(&[0.1, 0.5]);
+        p.params_mut()[0]
+            .value
+            .data_mut()
+            .copy_from_slice(&[0.1, 0.5]);
         // (N=1, C=2, H=1, W=2)
         let x = Tensor::from_vec(vec![1, 2, 1, 2], vec![-1.0, 1.0, -1.0, 1.0]);
         let y = p.forward(&x, Mode::Eval);
@@ -151,16 +154,26 @@ mod tests {
     #[test]
     fn shared_gradcheck() {
         let mut rng = StdRng::seed_from_u64(20);
-        let x = init::randn_tensor(&mut rng, vec![3, 4], 1.0)
-            .map(|v| if v.abs() < 0.1 { v + 0.2 } else { v });
+        let x = init::randn_tensor(&mut rng, vec![3, 4], 1.0).map(|v| {
+            if v.abs() < 0.1 {
+                v + 0.2
+            } else {
+                v
+            }
+        });
         check_layer_gradients(Box::new(PRelu::shared()), &x, 1e-3, 2e-2);
     }
 
     #[test]
     fn channelwise_gradcheck() {
         let mut rng = StdRng::seed_from_u64(21);
-        let x = init::randn_tensor(&mut rng, vec![2, 3, 2, 2], 1.0)
-            .map(|v| if v.abs() < 0.1 { v + 0.2 } else { v });
+        let x = init::randn_tensor(&mut rng, vec![2, 3, 2, 2], 1.0).map(|v| {
+            if v.abs() < 0.1 {
+                v + 0.2
+            } else {
+                v
+            }
+        });
         check_layer_gradients(Box::new(PRelu::channelwise(3)), &x, 1e-3, 2e-2);
     }
 

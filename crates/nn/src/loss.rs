@@ -63,9 +63,8 @@ pub fn softmax_cross_entropy(logits: &Tensor, labels: &[usize]) -> (f32, Tensor)
     assert_eq!(labels.len(), n, "label count mismatch");
     let mut grad = Tensor::zeros(vec![n, c]);
     let mut loss = 0.0f64;
-    for i in 0..n {
+    for (i, &label) in labels.iter().enumerate() {
         let row = &logits.data()[i * c..(i + 1) * c];
-        let label = labels[i];
         assert!(label < c, "label {label} out of range for {c} classes");
         let m = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
         let exps: Vec<f32> = row.iter().map(|&x| (x - m).exp()).collect();

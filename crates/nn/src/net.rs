@@ -77,7 +77,10 @@ impl Sequential {
 
     /// All learnable parameters, in layer order.
     pub fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     /// Immutable view of all learnable parameters.

@@ -210,7 +210,7 @@ impl AdamW {
     /// Panics on invalid hyper-parameters.
     pub fn new(lr: f32, weight_decay: f32) -> Self {
         assert!(
-            weight_decay >= 0.0 && weight_decay < 1.0,
+            (0.0..1.0).contains(&weight_decay),
             "invalid weight decay {weight_decay}"
         );
         AdamW {

@@ -63,7 +63,10 @@ impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             LoadError::CountMismatch { expected, found } => {
-                write!(f, "checkpoint has {found} tensors but the network has {expected} parameters")
+                write!(
+                    f,
+                    "checkpoint has {found} tensors but the network has {expected} parameters"
+                )
             }
             LoadError::ShapeMismatch {
                 index,

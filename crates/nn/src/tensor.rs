@@ -319,11 +319,25 @@ impl Tensor {
     ///
     /// Panics if either tensor is not 2-D or the inner dimensions disagree.
     pub fn matmul(&self, other: &Tensor) -> Tensor {
-        assert_eq!(self.ndim(), 2, "matmul lhs must be 2-D, got {:?}", self.shape);
-        assert_eq!(other.ndim(), 2, "matmul rhs must be 2-D, got {:?}", other.shape);
+        assert_eq!(
+            self.ndim(),
+            2,
+            "matmul lhs must be 2-D, got {:?}",
+            self.shape
+        );
+        assert_eq!(
+            other.ndim(),
+            2,
+            "matmul rhs must be 2-D, got {:?}",
+            other.shape
+        );
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul inner dims: {:?} x {:?}",
+            self.shape, other.shape
+        );
         let mut out = vec![0.0f32; m * n];
         matmul_into(&self.data, &other.data, &mut out, m, k, n);
         Tensor {
@@ -343,7 +357,11 @@ impl Tensor {
         assert_eq!(other.ndim(), 2, "matmul_t rhs must be 2-D");
         let (m, k) = (self.shape[0], self.shape[1]);
         let (n, k2) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "matmul_t inner dims: {:?} x {:?}^T", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "matmul_t inner dims: {:?} x {:?}^T",
+            self.shape, other.shape
+        );
         let mut out = vec![0.0f32; m * n];
         for i in 0..m {
             let a_row = &self.data[i * k..(i + 1) * k];
@@ -374,7 +392,11 @@ impl Tensor {
         assert_eq!(other.ndim(), 2, "t_matmul rhs must be 2-D");
         let (k, m) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
-        assert_eq!(k, k2, "t_matmul inner dims: {:?}^T x {:?}", self.shape, other.shape);
+        assert_eq!(
+            k, k2,
+            "t_matmul inner dims: {:?}^T x {:?}",
+            self.shape, other.shape
+        );
         let mut out = vec![0.0f32; m * n];
         // out[i][j] = sum_p self[p][i] * other[p][j]
         for p in 0..k {

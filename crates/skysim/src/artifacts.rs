@@ -117,7 +117,11 @@ mod tests {
         let mut cr = Image::zeros(65, 65);
         add_cosmic_ray(&mut cr, &mut rng, 50.0);
         let mut real = Image::zeros(65, 65);
-        Psf::Moffat { fwhm: 4.1, beta: 3.0 }.add_point_source(&mut real, 32.0, 32.0, 150.0);
+        Psf::Moffat {
+            fwhm: 4.1,
+            beta: 3.0,
+        }
+        .add_point_source(&mut real, 32.0, 32.0, 150.0);
         assert!(
             peak_sharpness(&cr) > peak_sharpness(&real) + 0.1,
             "cr {} vs real {}",

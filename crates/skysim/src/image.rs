@@ -77,7 +77,10 @@ impl Image {
     ///
     /// Panics if out of bounds.
     pub fn get(&self, x: usize, y: usize) -> f32 {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x]
     }
 
@@ -87,7 +90,10 @@ impl Image {
     ///
     /// Panics if out of bounds.
     pub fn set(&mut self, x: usize, y: usize, v: f32) {
-        assert!(x < self.width && y < self.height, "pixel ({x},{y}) out of bounds");
+        assert!(
+            x < self.width && y < self.height,
+            "pixel ({x},{y}) out of bounds"
+        );
         self.data[y * self.width + x] = v;
     }
 
@@ -122,7 +128,12 @@ impl Image {
         Image {
             width: self.width,
             height: self.height,
-            data: self.data.iter().zip(&other.data).map(|(a, b)| a - b).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a - b)
+                .collect(),
         }
     }
 
@@ -147,7 +158,10 @@ impl Image {
     ///
     /// Panics if `size` exceeds either dimension or is zero.
     pub fn crop_center(&self, size: usize) -> Image {
-        assert!(size > 0 && size <= self.width && size <= self.height, "invalid crop size");
+        assert!(
+            size > 0 && size <= self.width && size <= self.height,
+            "invalid crop size"
+        );
         let x0 = (self.width - size) / 2;
         let y0 = (self.height - size) / 2;
         let mut out = Image::zeros(size, size);

@@ -160,7 +160,10 @@ mod tests {
         use rand::rngs::StdRng;
         use rand::{Rng, SeedableRng};
         let mut rng = StdRng::seed_from_u64(1);
-        let psf = Psf::Moffat { fwhm: 4.0, beta: 3.0 };
+        let psf = Psf::Moffat {
+            fwhm: 4.0,
+            beta: 3.0,
+        };
         let truth = 60.0;
         let mut ap_err = 0.0;
         let mut psf_err = 0.0;

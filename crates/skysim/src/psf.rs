@@ -102,7 +102,10 @@ mod tests {
     fn injected_flux_is_conserved() {
         for psf in [
             Psf::Gaussian { fwhm: 3.5 },
-            Psf::Moffat { fwhm: 3.5, beta: 3.0 },
+            Psf::Moffat {
+                fwhm: 3.5,
+                beta: 3.0,
+            },
         ] {
             let mut img = Image::zeros(65, 65);
             psf.add_point_source(&mut img, 32.0, 32.0, 100.0);
@@ -113,7 +116,10 @@ mod tests {
 
     #[test]
     fn peak_is_at_center() {
-        let psf = Psf::Moffat { fwhm: 4.0, beta: 3.0 };
+        let psf = Psf::Moffat {
+            fwhm: 4.0,
+            beta: 3.0,
+        };
         let mut img = Image::zeros(33, 33);
         psf.add_point_source(&mut img, 16.0, 16.0, 50.0);
         let peak = img.get(16, 16);
@@ -151,7 +157,10 @@ mod tests {
         let peak = psf.profile(0.0);
         assert!((half / peak - 0.5).abs() < 1e-6);
         // Moffat as well, by construction of alpha.
-        let moffat = Psf::Moffat { fwhm: 4.0, beta: 3.0 };
+        let moffat = Psf::Moffat {
+            fwhm: 4.0,
+            beta: 3.0,
+        };
         let ratio = moffat.profile(4.0) / moffat.profile(0.0);
         assert!((ratio - 0.5).abs() < 1e-6);
     }
@@ -159,7 +168,10 @@ mod tests {
     #[test]
     fn moffat_has_heavier_wings_than_gaussian() {
         let g = Psf::Gaussian { fwhm: 4.0 };
-        let m = Psf::Moffat { fwhm: 4.0, beta: 3.0 };
+        let m = Psf::Moffat {
+            fwhm: 4.0,
+            beta: 3.0,
+        };
         let r2 = 64.0; // r = 8 px = 2 fwhm
         assert!(m.profile(r2) / m.profile(0.0) > g.profile(r2) / g.profile(0.0));
     }
@@ -174,8 +186,14 @@ mod tests {
 
     #[test]
     fn wider_seeing_lowers_peak() {
-        let sharp = Psf::Moffat { fwhm: 3.0, beta: 3.0 };
-        let blurry = Psf::Moffat { fwhm: 6.0, beta: 3.0 };
+        let sharp = Psf::Moffat {
+            fwhm: 3.0,
+            beta: 3.0,
+        };
+        let blurry = Psf::Moffat {
+            fwhm: 6.0,
+            beta: 3.0,
+        };
         let mut a = Image::zeros(33, 33);
         let mut b = Image::zeros(33, 33);
         sharp.add_point_source(&mut a, 16.0, 16.0, 100.0);

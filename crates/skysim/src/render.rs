@@ -70,7 +70,11 @@ impl CutoutSpec {
 ///
 /// Panics if fluxes are negative or the conditions are unphysical.
 pub fn render_cutout(spec: &CutoutSpec) -> Image {
-    assert!(spec.galaxy_flux >= 0.0 && spec.sn_flux >= 0.0, "negative flux");
+    let _t = snia_telemetry::timer("render.cutout_ns");
+    assert!(
+        spec.galaxy_flux >= 0.0 && spec.sn_flux >= 0.0,
+        "negative flux"
+    );
     assert!(spec.conditions.seeing_fwhm_px > 0.0, "invalid seeing");
     let mut img = Image::zeros(STAMP_SIZE, STAMP_SIZE);
     let t = spec.conditions.transparency;

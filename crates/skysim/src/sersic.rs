@@ -46,7 +46,10 @@ impl Sersic {
     ///
     /// Panics if the profile parameters are invalid.
     pub fn render(&self, img: &mut Image, cx: f64, cy: f64, flux: f64, seeing_sigma: f64) {
-        assert!(self.index > 0.0 && self.r_eff > 0.0, "invalid Sérsic parameters");
+        assert!(
+            self.index > 0.0 && self.r_eff > 0.0,
+            "invalid Sérsic parameters"
+        );
         assert!(
             self.axis_ratio > 0.0 && self.axis_ratio <= 1.0,
             "axis ratio must be in (0, 1], got {}",
@@ -100,8 +103,16 @@ mod tests {
     #[test]
     fn b_n_known_values() {
         // b_1 ≈ 1.678, b_4 ≈ 7.669 (classic values).
-        let b1 = Sersic { index: 1.0, ..disc() }.b_n();
-        let b4 = Sersic { index: 4.0, ..disc() }.b_n();
+        let b1 = Sersic {
+            index: 1.0,
+            ..disc()
+        }
+        .b_n();
+        let b4 = Sersic {
+            index: 4.0,
+            ..disc()
+        }
+        .b_n();
         assert!((b1 - 1.678).abs() < 0.01, "b1 {b1}");
         assert!((b4 - 7.669).abs() < 0.01, "b4 {b4}");
     }

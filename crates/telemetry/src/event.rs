@@ -1,0 +1,241 @@
+//! The event model shared by all sinks.
+
+use serde::Value;
+
+/// A dynamically typed span-field or metric-label value.
+///
+/// ```
+/// use snia_telemetry::FieldValue;
+///
+/// let f = FieldValue::from(3usize);
+/// assert_eq!(f.to_value(), serde::Value::U64(3));
+/// let s = FieldValue::from("warm");
+/// assert_eq!(s.to_value(), serde::Value::Str("warm".into()));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum FieldValue {
+    /// Signed integer.
+    I64(i64),
+    /// Unsigned integer.
+    U64(u64),
+    /// Floating point.
+    F64(f64),
+    /// Boolean.
+    Bool(bool),
+    /// Text.
+    Str(String),
+}
+
+impl FieldValue {
+    /// Converts to the serde value model (for sinks that serialise).
+    pub fn to_value(&self) -> Value {
+        match self {
+            FieldValue::I64(v) => Value::I64(*v),
+            FieldValue::U64(v) => Value::U64(*v),
+            FieldValue::F64(v) => Value::F64(*v),
+            FieldValue::Bool(v) => Value::Bool(*v),
+            FieldValue::Str(v) => Value::Str(v.clone()),
+        }
+    }
+}
+
+macro_rules! impl_field_from {
+    ($($t:ty => $variant:ident as $cast:ty),* $(,)?) => {$(
+        impl From<$t> for FieldValue {
+            fn from(v: $t) -> Self {
+                FieldValue::$variant(v as $cast)
+            }
+        }
+    )*};
+}
+
+impl_field_from!(
+    i8 => I64 as i64, i16 => I64 as i64, i32 => I64 as i64, i64 => I64 as i64,
+    isize => I64 as i64,
+    u8 => U64 as u64, u16 => U64 as u64, u32 => U64 as u64, u64 => U64 as u64,
+    usize => U64 as u64,
+    f32 => F64 as f64, f64 => F64 as f64,
+);
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// The kind of a metric instrument.
+///
+/// ```
+/// use snia_telemetry::MetricKind;
+/// assert_eq!(MetricKind::Counter.as_str(), "counter");
+/// assert_eq!(MetricKind::Histogram.as_str(), "histogram");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotone count of occurrences.
+    Counter,
+    /// Last-written value.
+    Gauge,
+    /// Distribution summarised by percentiles.
+    Histogram,
+}
+
+impl MetricKind {
+    /// The lowercase wire name of the kind.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+            MetricKind::Histogram => "histogram",
+        }
+    }
+}
+
+/// One telemetry event, as delivered to a [`crate::Sink`].
+///
+/// Timestamps (`ts_ns`) are nanoseconds since the process's telemetry
+/// epoch (first telemetry call), monotonic.
+///
+/// ```
+/// use snia_telemetry::Event;
+///
+/// let ev = Event::Metric {
+///     name: "eval.auc".into(),
+///     kind: snia_telemetry::MetricKind::Gauge,
+///     value: 0.97,
+///     ts_ns: 12,
+/// };
+/// let v = ev.to_value();
+/// assert_eq!(v["type"].as_str(), Some("metric"));
+/// assert_eq!(v["value"].as_f64(), Some(0.97));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// A span opened (`name` pushed onto the thread's span stack).
+    SpanEnter {
+        /// Span name (e.g. `"epoch"`).
+        name: String,
+        /// Slash-joined stack from root to this span (e.g. `"fit/epoch"`).
+        path: String,
+        /// 0-based nesting depth.
+        depth: usize,
+        /// Key/value fields attached at the call site.
+        fields: Vec<(String, FieldValue)>,
+        /// Nanoseconds since the telemetry epoch.
+        ts_ns: u64,
+    },
+    /// A span closed; `elapsed_ns` is its wall-clock duration.
+    SpanExit {
+        /// Span name.
+        name: String,
+        /// Slash-joined stack from root to this span.
+        path: String,
+        /// 0-based nesting depth.
+        depth: usize,
+        /// Key/value fields attached at the call site.
+        fields: Vec<(String, FieldValue)>,
+        /// Wall-clock duration of the span in nanoseconds.
+        elapsed_ns: u64,
+        /// Nanoseconds since the telemetry epoch (at close).
+        ts_ns: u64,
+    },
+    /// A counter or gauge was written (`value` is the new total for
+    /// counters, the written value for gauges).
+    Metric {
+        /// Metric name (`subsystem.metric_unit` convention).
+        name: String,
+        /// Which instrument produced the event.
+        kind: MetricKind,
+        /// Current value.
+        value: f64,
+        /// Nanoseconds since the telemetry epoch.
+        ts_ns: u64,
+    },
+    /// An arbitrary structured record (e.g. a per-epoch training row).
+    Record {
+        /// Record kind tag (e.g. `"train_epoch"`).
+        kind: String,
+        /// The serialised payload.
+        value: Value,
+        /// Nanoseconds since the telemetry epoch.
+        ts_ns: u64,
+    },
+}
+
+impl Event {
+    /// Converts to the serde value model; each variant carries a `"type"`
+    /// discriminator so JSONL consumers can filter without schema.
+    pub fn to_value(&self) -> Value {
+        fn fields_value(fields: &[(String, FieldValue)]) -> Value {
+            Value::Map(
+                fields
+                    .iter()
+                    .map(|(k, v)| (k.clone(), v.to_value()))
+                    .collect(),
+            )
+        }
+        let entries = match self {
+            Event::SpanEnter {
+                name,
+                path,
+                depth,
+                fields,
+                ts_ns,
+            } => vec![
+                ("type".into(), Value::Str("span_enter".into())),
+                ("name".into(), Value::Str(name.clone())),
+                ("path".into(), Value::Str(path.clone())),
+                ("depth".into(), Value::U64(*depth as u64)),
+                ("fields".into(), fields_value(fields)),
+                ("ts_ns".into(), Value::U64(*ts_ns)),
+            ],
+            Event::SpanExit {
+                name,
+                path,
+                depth,
+                fields,
+                elapsed_ns,
+                ts_ns,
+            } => vec![
+                ("type".into(), Value::Str("span_exit".into())),
+                ("name".into(), Value::Str(name.clone())),
+                ("path".into(), Value::Str(path.clone())),
+                ("depth".into(), Value::U64(*depth as u64)),
+                ("fields".into(), fields_value(fields)),
+                ("elapsed_ns".into(), Value::U64(*elapsed_ns)),
+                ("ts_ns".into(), Value::U64(*ts_ns)),
+            ],
+            Event::Metric {
+                name,
+                kind,
+                value,
+                ts_ns,
+            } => vec![
+                ("type".into(), Value::Str("metric".into())),
+                ("name".into(), Value::Str(name.clone())),
+                ("kind".into(), Value::Str(kind.as_str().into())),
+                ("value".into(), Value::F64(*value)),
+                ("ts_ns".into(), Value::U64(*ts_ns)),
+            ],
+            Event::Record { kind, value, ts_ns } => vec![
+                ("type".into(), Value::Str("record".into())),
+                ("kind".into(), Value::Str(kind.clone())),
+                ("value".into(), value.clone()),
+                ("ts_ns".into(), Value::U64(*ts_ns)),
+            ],
+        };
+        Value::Map(entries)
+    }
+}

@@ -1,0 +1,599 @@
+//! Structured observability for the supernova-classification pipeline:
+//! hierarchical timed spans, a global metrics registry, and pluggable
+//! event sinks — std + serde only.
+//!
+//! # Design
+//!
+//! Telemetry is **off by default**: every instrumentation point first
+//! reads one relaxed atomic ([`enabled`]) and bails, so instrumented hot
+//! loops (per-batch forward passes, per-cutout rendering) pay a few
+//! nanoseconds when telemetry is disabled. Turning it on costs what the
+//! installed [`Sink`] costs.
+//!
+//! Three instruments, named `subsystem.metric_unit` (see DESIGN.md):
+//!
+//! * **spans** — RAII guards ([`span!`], [`SpanGuard`]) tracking a
+//!   per-thread stack; open/close events carry the slash-joined path
+//!   (`"fit/epoch/batch"`) and every span's duration feeds the
+//!   `span.<name>_ns` histogram;
+//! * **counters / gauges** — [`counter_add`], [`gauge_set`];
+//! * **histograms** — [`observe`], [`timer`]: fixed-bucket log-scale
+//!   distributions reporting p50/p90/p99 ([`snapshot`]).
+//!
+//! Sinks ([`NoopSink`], [`CaptureSink`], [`JsonlSink`]) receive
+//! [`Event`]s; [`record`] forwards arbitrary serialisable rows (e.g.
+//! per-epoch training records) to the sink as `"record"` events.
+//!
+//! ```
+//! use snia_telemetry as telemetry;
+//!
+//! # telemetry::reset();
+//! let sink = telemetry::CaptureSink::new();
+//! telemetry::install_sink(sink.clone());
+//! telemetry::set_enabled(true);
+//!
+//! {
+//!     let _fit = telemetry::span!("fit", model = "flux_cnn");
+//!     let _epoch = telemetry::span!("epoch", epoch = 0usize);
+//!     telemetry::gauge_set("train.samples_per_sec", 1234.5);
+//! }
+//!
+//! let events = sink.events();
+//! assert_eq!(events.len(), 5); // 2 enters, 1 metric, 2 exits
+//! assert_eq!(telemetry::snapshot().gauges[0].0, "train.samples_per_sec");
+//! # telemetry::reset();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod metrics;
+mod sink;
+
+pub use event::{Event, FieldValue, MetricKind};
+pub use metrics::{HistogramSnapshot, MetricsSnapshot};
+pub use sink::{CaptureSink, JsonlSink, NoopSink, Sink};
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock, RwLock};
+use std::time::Instant;
+
+use serde::Serialize;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+fn sink_slot() -> &'static RwLock<Option<Box<dyn Sink>>> {
+    static SLOT: OnceLock<RwLock<Option<Box<dyn Sink>>>> = OnceLock::new();
+    SLOT.get_or_init(|| RwLock::new(None))
+}
+
+fn registry() -> &'static Mutex<metrics::Registry> {
+    static REGISTRY: OnceLock<Mutex<metrics::Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(metrics::Registry::default()))
+}
+
+/// The process-wide monotonic origin for event timestamps.
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+fn now_ns() -> u64 {
+    epoch().elapsed().as_nanos() as u64
+}
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Whether telemetry is currently collecting. One relaxed atomic load —
+/// this is the entire cost of every instrument when telemetry is off.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns collection on or off globally.
+pub fn set_enabled(on: bool) {
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Installs `sink` as the global event sink (replacing any previous one,
+/// which is flushed first).
+pub fn install_sink(sink: impl Sink + 'static) {
+    let old = sink_slot()
+        .write()
+        .expect("sink lock poisoned")
+        .replace(Box::new(sink));
+    if let Some(old) = old {
+        old.flush();
+    }
+}
+
+/// Removes the global sink (flushing it) and leaves events unobserved.
+pub fn clear_sink() {
+    let old = sink_slot().write().expect("sink lock poisoned").take();
+    if let Some(old) = old {
+        old.flush();
+    }
+}
+
+/// Flushes the installed sink, if any.
+pub fn flush() {
+    if let Some(sink) = sink_slot().read().expect("sink lock poisoned").as_ref() {
+        sink.flush();
+    }
+}
+
+/// Resets all global telemetry state: disables collection, removes the
+/// sink and clears every metric. Intended for tests and run boundaries.
+pub fn reset() {
+    set_enabled(false);
+    clear_sink();
+    registry().lock().expect("registry poisoned").clear();
+}
+
+/// Builds the event lazily (only when enabled and a sink is installed)
+/// and delivers it.
+fn emit_with(build: impl FnOnce() -> Event) {
+    if !enabled() {
+        return;
+    }
+    if let Some(sink) = sink_slot().read().expect("sink lock poisoned").as_ref() {
+        sink.emit(&build());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------------
+
+/// RAII guard for one timed span; closing (dropping) it records the
+/// duration into the `span.<name>_ns` histogram and emits a
+/// [`Event::SpanExit`]. Created by [`span!`] or [`SpanGuard::enter`].
+///
+/// ```
+/// # snia_telemetry::reset();
+/// snia_telemetry::set_enabled(true);
+/// {
+///     let _g = snia_telemetry::span!("epoch", epoch = 2usize);
+/// }
+/// let snap = snia_telemetry::snapshot();
+/// assert_eq!(snap.histograms[0].name, "span.epoch_ns");
+/// assert_eq!(snap.histograms[0].count, 1);
+/// # snia_telemetry::reset();
+/// ```
+#[must_use = "a span ends when its guard drops; bind it with `let _g = ...`"]
+pub struct SpanGuard {
+    name: &'static str,
+    start: Option<Instant>,
+    fields: Vec<(&'static str, FieldValue)>,
+}
+
+impl SpanGuard {
+    /// Opens a span: pushes `name` onto this thread's span stack and
+    /// emits a [`Event::SpanEnter`]. Prefer the [`span!`] macro.
+    pub fn enter(name: &'static str, fields: Vec<(&'static str, FieldValue)>) -> SpanGuard {
+        if !enabled() {
+            return SpanGuard::inert(name);
+        }
+        let depth = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            stack.push(name);
+            stack.len() - 1
+        });
+        emit_with(|| Event::SpanEnter {
+            name: name.to_string(),
+            path: current_path(),
+            depth,
+            fields: owned_fields(&fields),
+            ts_ns: now_ns(),
+        });
+        SpanGuard {
+            name,
+            start: Some(Instant::now()),
+            fields,
+        }
+    }
+
+    /// A guard that does nothing on drop (telemetry disabled).
+    pub fn inert(name: &'static str) -> SpanGuard {
+        SpanGuard {
+            name,
+            start: None,
+            fields: Vec::new(),
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(start) = self.start else { return };
+        let elapsed_ns = start.elapsed().as_nanos() as u64;
+        let path = if sink_installed() {
+            current_path()
+        } else {
+            String::new()
+        };
+        let depth = SPAN_STACK.with(|s| {
+            let mut stack = s.borrow_mut();
+            let depth = stack.len().saturating_sub(1);
+            // Guards normally drop in LIFO order; tolerate misuse.
+            if stack.last() == Some(&self.name) {
+                stack.pop();
+            }
+            depth
+        });
+        observe(&format!("span.{}_ns", self.name), elapsed_ns as f64);
+        let fields = std::mem::take(&mut self.fields);
+        emit_with(|| Event::SpanExit {
+            name: self.name.to_string(),
+            path,
+            depth,
+            fields: owned_fields(&fields),
+            elapsed_ns,
+            ts_ns: now_ns(),
+        });
+    }
+}
+
+fn sink_installed() -> bool {
+    sink_slot().read().expect("sink lock poisoned").is_some()
+}
+
+fn owned_fields(fields: &[(&'static str, FieldValue)]) -> Vec<(String, FieldValue)> {
+    fields
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.clone()))
+        .collect()
+}
+
+/// The slash-joined span stack of the current thread.
+fn current_path() -> String {
+    SPAN_STACK.with(|s| s.borrow().join("/"))
+}
+
+/// The current thread's span nesting depth (0 when no span is open).
+pub fn span_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// Opens a timed span, optionally attaching `key = value` fields:
+///
+/// ```
+/// # snia_telemetry::reset();
+/// # snia_telemetry::set_enabled(true);
+/// let _fit = snia_telemetry::span!("fit");
+/// let _epoch = snia_telemetry::span!("epoch", epoch = 3usize, lr = 0.0005);
+/// # drop(_epoch); drop(_fit);
+/// # snia_telemetry::reset();
+/// ```
+///
+/// Expands to a [`SpanGuard`]; with telemetry disabled the expansion
+/// performs one atomic load and allocates nothing.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::enter($name, ::std::vec::Vec::new())
+    };
+    ($name:expr, $($key:ident = $value:expr),+ $(,)?) => {
+        if $crate::enabled() {
+            $crate::SpanGuard::enter(
+                $name,
+                ::std::vec![$((stringify!($key), $crate::FieldValue::from($value))),+],
+            )
+        } else {
+            $crate::SpanGuard::inert($name)
+        }
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Metrics
+// ---------------------------------------------------------------------------
+
+/// Adds `by` to the named counter and emits the new total as a
+/// [`Event::Metric`]. No-op while disabled.
+pub fn counter_add(name: &str, by: u64) {
+    if !enabled() {
+        return;
+    }
+    let total = registry()
+        .lock()
+        .expect("registry poisoned")
+        .counter_add(name, by);
+    emit_with(|| Event::Metric {
+        name: name.to_string(),
+        kind: MetricKind::Counter,
+        value: total as f64,
+        ts_ns: now_ns(),
+    });
+}
+
+/// Sets the named gauge and emits the value as a [`Event::Metric`].
+/// No-op while disabled.
+pub fn gauge_set(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    registry()
+        .lock()
+        .expect("registry poisoned")
+        .gauge_set(name, value);
+    emit_with(|| Event::Metric {
+        name: name.to_string(),
+        kind: MetricKind::Gauge,
+        value,
+        ts_ns: now_ns(),
+    });
+}
+
+/// Records one observation into the named histogram. Observations are
+/// registry-only (no per-observation event — hot paths produce many);
+/// distributions reach sinks via [`emit_snapshot`]. No-op while disabled.
+pub fn observe(name: &str, value: f64) {
+    if !enabled() {
+        return;
+    }
+    registry()
+        .lock()
+        .expect("registry poisoned")
+        .observe(name, value);
+}
+
+/// RAII timer recording its elapsed nanoseconds into a histogram on
+/// drop. Created by [`timer`].
+///
+/// ```
+/// # snia_telemetry::reset();
+/// snia_telemetry::set_enabled(true);
+/// {
+///     let _t = snia_telemetry::timer("render.cutout_ns");
+/// }
+/// assert_eq!(snia_telemetry::snapshot().histograms[0].count, 1);
+/// # snia_telemetry::reset();
+/// ```
+#[must_use = "a timer records when its guard drops; bind it with `let _t = ...`"]
+pub struct Timer {
+    name: &'static str,
+    start: Option<Instant>,
+}
+
+/// Starts a [`Timer`] feeding the histogram `name` (use `_ns` names —
+/// the recorded value is nanoseconds). One atomic load when disabled.
+pub fn timer(name: &'static str) -> Timer {
+    Timer {
+        name,
+        start: enabled().then(Instant::now),
+    }
+}
+
+impl Drop for Timer {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            observe(self.name, start.elapsed().as_nanos() as f64);
+        }
+    }
+}
+
+/// Point-in-time copy of every registered metric, sorted by name.
+pub fn snapshot() -> MetricsSnapshot {
+    registry().lock().expect("registry poisoned").snapshot()
+}
+
+/// Emits the current [`snapshot`] to the sink as a `"metrics_snapshot"`
+/// record (how histogram distributions reach JSONL output).
+pub fn emit_snapshot() {
+    emit_with(|| Event::Record {
+        kind: "metrics_snapshot".to_string(),
+        value: snapshot().to_value(),
+        ts_ns: now_ns(),
+    });
+}
+
+/// Forwards an arbitrary serialisable row to the sink as a
+/// [`Event::Record`] — e.g. one per-epoch training record. No-op while
+/// disabled or with no sink installed.
+pub fn record(kind: &str, row: &impl Serialize) {
+    emit_with(|| Event::Record {
+        kind: kind.to_string(),
+        value: row.to_value(),
+        ts_ns: now_ns(),
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Global-state tests must not interleave; each takes this lock and
+    /// starts/ends from a clean slate.
+    fn serial() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        let guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        reset();
+        guard
+    }
+
+    #[test]
+    fn span_events_nest_in_order() {
+        let _s = serial();
+        let sink = CaptureSink::new();
+        install_sink(sink.clone());
+        set_enabled(true);
+
+        {
+            let _fit = span!("fit");
+            {
+                let _epoch = span!("epoch", epoch = 1usize);
+                let _batch = span!("batch", batch = 0usize, size = 32usize);
+            }
+        }
+
+        let events = sink.events();
+        let kinds: Vec<&str> = events
+            .iter()
+            .map(|e| match e {
+                Event::SpanEnter { name, .. } => name.as_str(),
+                Event::SpanExit { name, .. } => name.as_str(),
+                _ => "?",
+            })
+            .collect();
+        assert_eq!(kinds, ["fit", "epoch", "batch", "batch", "epoch", "fit"]);
+
+        match &events[2] {
+            Event::SpanEnter {
+                path,
+                depth,
+                fields,
+                ..
+            } => {
+                assert_eq!(path, "fit/epoch/batch");
+                assert_eq!(*depth, 2);
+                assert_eq!(fields[0], ("batch".to_string(), FieldValue::U64(0)));
+                assert_eq!(fields[1], ("size".to_string(), FieldValue::U64(32)));
+            }
+            other => panic!("expected batch enter, got {other:?}"),
+        }
+        match &events[3] {
+            Event::SpanExit { name, depth, .. } => {
+                assert_eq!(name, "batch");
+                assert_eq!(*depth, 2);
+            }
+            other => panic!("expected batch exit, got {other:?}"),
+        }
+        reset();
+    }
+
+    #[test]
+    fn span_durations_feed_histograms() {
+        let _s = serial();
+        set_enabled(true);
+        for _ in 0..3 {
+            let _g = span!("epoch");
+        }
+        let snap = snapshot();
+        let h = &snap.histograms[0];
+        assert_eq!(h.name, "span.epoch_ns");
+        assert_eq!(h.count, 3);
+        assert!(h.min >= 0.0 && h.max < 1e9, "implausible span time");
+        reset();
+    }
+
+    #[test]
+    fn disabled_telemetry_is_inert() {
+        let _s = serial();
+        let sink = CaptureSink::new();
+        install_sink(sink.clone());
+        // NOT enabled.
+        {
+            let _g = span!("epoch", epoch = 9usize);
+            let _t = timer("render.cutout_ns");
+            counter_add("dataset.samples_total", 5);
+            gauge_set("eval.auc", 0.9);
+            observe("nn.forward_ns", 100.0);
+        }
+        assert!(sink.events().is_empty());
+        let snap = snapshot();
+        assert!(snap.counters.is_empty());
+        assert!(snap.gauges.is_empty());
+        assert!(snap.histograms.is_empty());
+        reset();
+    }
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let _s = serial();
+        set_enabled(true);
+        counter_add("train.batches_total", 2);
+        counter_add("train.batches_total", 3);
+        gauge_set("eval.auc", 0.5);
+        gauge_set("eval.auc", 0.75);
+        let snap = snapshot();
+        assert_eq!(snap.counters, vec![("train.batches_total".to_string(), 5)]);
+        assert_eq!(snap.gauges, vec![("eval.auc".to_string(), 0.75)]);
+        reset();
+    }
+
+    #[test]
+    fn span_stacks_are_per_thread() {
+        let _s = serial();
+        set_enabled(true);
+        let _outer = span!("fit");
+        assert_eq!(span_depth(), 1);
+        let handle = std::thread::spawn(|| {
+            // The spawning thread's "fit" span must not leak over here.
+            let depth_before = span_depth();
+            let _inner = span!("epoch");
+            (depth_before, span_depth())
+        });
+        let (before, during) = handle.join().expect("thread panicked");
+        assert_eq!(before, 0);
+        assert_eq!(during, 1);
+        assert_eq!(span_depth(), 1);
+        reset();
+    }
+
+    #[test]
+    fn records_reach_the_sink() {
+        let _s = serial();
+        let sink = CaptureSink::new();
+        install_sink(sink.clone());
+        set_enabled(true);
+        gauge_set("train.samples_per_sec", 512.0);
+        observe("nn.forward_ns", 1000.0);
+        emit_snapshot();
+        let events = sink.events();
+        assert_eq!(events.len(), 2); // gauge metric + snapshot record
+        match &events[1] {
+            Event::Record { kind, value, .. } => {
+                assert_eq!(kind, "metrics_snapshot");
+                let h = &value["histograms"]["nn.forward_ns"];
+                assert_eq!(h["count"].as_u64(), Some(1));
+            }
+            other => panic!("expected record, got {other:?}"),
+        }
+        reset();
+    }
+
+    #[test]
+    fn jsonl_round_trips_through_serde() {
+        let _s = serial();
+        let dir = std::env::temp_dir().join("snia-telemetry-test");
+        let path = dir.join("events.jsonl");
+        install_sink(JsonlSink::create(&path).expect("create sink"));
+        set_enabled(true);
+
+        {
+            let _fit = span!("fit", model = "flux_cnn");
+            let _epoch = span!("epoch", epoch = 0usize);
+            gauge_set("train.samples_per_sec", 2048.5);
+        }
+        record(
+            "train_epoch",
+            &serde_json::json!({"epoch": 0, "loss": 0.25}),
+        );
+        flush();
+
+        let text = std::fs::read_to_string(&path).expect("read jsonl");
+        let lines: Vec<serde::Value> = text
+            .lines()
+            .map(|l| serde_json::from_str(l).expect("valid JSON line"))
+            .collect();
+        assert_eq!(lines.len(), 6);
+        assert_eq!(lines[0]["type"].as_str(), Some("span_enter"));
+        assert_eq!(lines[1]["path"].as_str(), Some("fit/epoch"));
+        assert_eq!(lines[2]["name"].as_str(), Some("train.samples_per_sec"));
+        assert_eq!(lines[2]["value"].as_f64(), Some(2048.5));
+        let exit = &lines[3];
+        assert_eq!(exit["type"].as_str(), Some("span_exit"));
+        assert!(exit["elapsed_ns"].as_u64().is_some());
+        assert_eq!(lines[5]["kind"].as_str(), Some("train_epoch"));
+        assert_eq!(lines[5]["value"]["loss"].as_f64(), Some(0.25));
+
+        reset();
+        std::fs::remove_file(&path).ok();
+    }
+}

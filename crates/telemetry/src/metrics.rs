@@ -1,0 +1,324 @@
+//! The global metrics registry: counters, gauges and fixed-bucket
+//! logarithmic histograms.
+
+use std::collections::HashMap;
+
+use serde::{Serialize, Value};
+
+/// Sub-buckets per power-of-two octave. Eight sub-buckets bound the
+/// relative quantile error by `2^(1/8) - 1` ≈ 9 %.
+const SUB: usize = 8;
+/// Smallest representable bucket lower bound is `2^MIN_EXP`.
+const MIN_EXP: i32 = -32;
+/// Largest octave is `[2^MAX_EXP, 2^(MAX_EXP + 1))` — ~2.9 hours in ns.
+const MAX_EXP: i32 = 43;
+const N_BUCKETS: usize = ((MAX_EXP - MIN_EXP + 1) as usize) * SUB;
+
+/// A fixed-bucket log-scale histogram over positive `f64` observations.
+#[derive(Debug, Clone)]
+pub(crate) struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+fn bucket_index(v: f64) -> usize {
+    if !v.is_finite() || v <= 0.0 {
+        return 0;
+    }
+    let l = v.log2();
+    let e = (l.floor() as i32).clamp(MIN_EXP, MAX_EXP);
+    let frac = (l - e as f64).clamp(0.0, 1.0);
+    let sub = ((frac * SUB as f64) as usize).min(SUB - 1);
+    ((e - MIN_EXP) as usize) * SUB + sub
+}
+
+/// Geometric midpoint of a bucket — the representative value reported
+/// for quantiles landing in it.
+fn bucket_value(idx: usize) -> f64 {
+    let e = MIN_EXP + (idx / SUB) as i32;
+    let sub = idx % SUB;
+    2f64.powi(e) * 2f64.powf((sub as f64 + 0.5) / SUB as f64)
+}
+
+impl Histogram {
+    pub(crate) fn new() -> Self {
+        Histogram {
+            counts: vec![0; N_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    pub(crate) fn record(&mut self, v: f64) {
+        if !v.is_finite() {
+            return;
+        }
+        self.counts[bucket_index(v)] += 1;
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`), accurate to one bucket width;
+    /// the exact observed min/max clamp the tails.
+    pub(crate) fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return f64::NAN;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return bucket_value(idx).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    pub(crate) fn snapshot(&self, name: &str) -> HistogramSnapshot {
+        HistogramSnapshot {
+            name: name.to_string(),
+            count: self.count,
+            min: self.min,
+            max: self.max,
+            mean: if self.count == 0 {
+                f64::NAN
+            } else {
+                self.sum / self.count as f64
+            },
+            p50: self.quantile(0.50),
+            p90: self.quantile(0.90),
+            p99: self.quantile(0.99),
+        }
+    }
+}
+
+/// Point-in-time summary of one histogram.
+///
+/// ```
+/// let s = snia_telemetry::HistogramSnapshot {
+///     name: "render.cutout_ns".into(),
+///     count: 2, min: 1.0, max: 3.0, mean: 2.0,
+///     p50: 1.0, p90: 3.0, p99: 3.0,
+/// };
+/// assert_eq!(serde::Serialize::to_value(&s)["count"].as_u64(), Some(2));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Metric name (`subsystem.metric_unit` convention).
+    pub name: String,
+    /// Number of observations.
+    pub count: u64,
+    /// Exact smallest observation (`NaN`-free once count > 0).
+    pub min: f64,
+    /// Exact largest observation.
+    pub max: f64,
+    /// Exact arithmetic mean.
+    pub mean: f64,
+    /// Median, accurate to one log bucket (~9 %).
+    pub p50: f64,
+    /// 90th percentile, same accuracy.
+    pub p90: f64,
+    /// 99th percentile, same accuracy.
+    pub p99: f64,
+}
+
+impl Serialize for HistogramSnapshot {
+    fn to_value(&self) -> Value {
+        Value::Map(vec![
+            ("name".into(), Value::Str(self.name.clone())),
+            ("count".into(), Value::U64(self.count)),
+            ("min".into(), Value::F64(self.min)),
+            ("max".into(), Value::F64(self.max)),
+            ("mean".into(), Value::F64(self.mean)),
+            ("p50".into(), Value::F64(self.p50)),
+            ("p90".into(), Value::F64(self.p90)),
+            ("p99".into(), Value::F64(self.p99)),
+        ])
+    }
+}
+
+/// Point-in-time summary of every registered metric, sorted by name.
+///
+/// ```
+/// # snia_telemetry::reset();
+/// snia_telemetry::set_enabled(true);
+/// snia_telemetry::counter_add("dataset.samples_total", 3);
+/// snia_telemetry::gauge_set("eval.auc", 0.91);
+/// let snap = snia_telemetry::snapshot();
+/// assert_eq!(snap.counters, vec![("dataset.samples_total".to_string(), 3)]);
+/// assert_eq!(snap.gauges[0].1, 0.91);
+/// # snia_telemetry::reset();
+/// ```
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, total)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, last value)` for every gauge.
+    pub gauges: Vec<(String, f64)>,
+    /// Summaries of every histogram.
+    pub histograms: Vec<HistogramSnapshot>,
+}
+
+impl Serialize for MetricsSnapshot {
+    fn to_value(&self) -> Value {
+        let counters = self
+            .counters
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::U64(*v)))
+            .collect();
+        let gauges = self
+            .gauges
+            .iter()
+            .map(|(k, v)| (k.clone(), Value::F64(*v)))
+            .collect();
+        let histograms = self
+            .histograms
+            .iter()
+            .map(|h| (h.name.clone(), h.to_value()))
+            .collect();
+        Value::Map(vec![
+            ("counters".into(), Value::Map(counters)),
+            ("gauges".into(), Value::Map(gauges)),
+            ("histograms".into(), Value::Map(histograms)),
+        ])
+    }
+}
+
+/// The mutable store behind the global registry lock.
+#[derive(Debug, Default)]
+pub(crate) struct Registry {
+    counters: HashMap<String, u64>,
+    gauges: HashMap<String, f64>,
+    histograms: HashMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Adds to a counter, returning the new total.
+    pub(crate) fn counter_add(&mut self, name: &str, by: u64) -> u64 {
+        if !self.counters.contains_key(name) {
+            self.counters.insert(name.to_string(), by);
+            return by;
+        }
+        let v = self.counters.get_mut(name).expect("checked above");
+        *v += by;
+        *v
+    }
+
+    pub(crate) fn gauge_set(&mut self, name: &str, value: f64) {
+        if !self.gauges.contains_key(name) {
+            self.gauges.insert(name.to_string(), value);
+            return;
+        }
+        *self.gauges.get_mut(name).expect("checked above") = value;
+    }
+
+    pub(crate) fn observe(&mut self, name: &str, value: f64) {
+        if !self.histograms.contains_key(name) {
+            self.histograms.insert(name.to_string(), Histogram::new());
+        }
+        self.histograms
+            .get_mut(name)
+            .expect("inserted above")
+            .record(value);
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        let mut counters: Vec<_> = self.counters.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        counters.sort();
+        let mut gauges: Vec<_> = self.gauges.iter().map(|(k, v)| (k.clone(), *v)).collect();
+        gauges.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut histograms: Vec<_> = self.histograms.iter().map(|(k, h)| h.snapshot(k)).collect();
+        histograms.sort_by(|a, b| a.name.cmp(&b.name));
+        MetricsSnapshot {
+            counters,
+            gauges,
+            histograms,
+        }
+    }
+
+    pub(crate) fn clear(&mut self) {
+        self.counters.clear();
+        self.gauges.clear();
+        self.histograms.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_monotone_and_cover() {
+        let mut prev = 0.0;
+        for idx in 0..N_BUCKETS {
+            let v = bucket_value(idx);
+            assert!(v > prev, "bucket {idx} not monotone");
+            assert_eq!(bucket_index(v), idx, "representative maps back to bucket");
+            prev = v;
+        }
+    }
+
+    #[test]
+    fn quantiles_match_uniform_distribution() {
+        let mut h = Histogram::new();
+        for i in 1..=1000 {
+            h.record(i as f64);
+        }
+        let s = h.snapshot("t");
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 1000.0);
+        assert!((s.mean - 500.5).abs() < 1e-9, "mean {}", s.mean);
+        assert!((s.p50 - 500.0).abs() / 500.0 < 0.10, "p50 {}", s.p50);
+        assert!((s.p90 - 900.0).abs() / 900.0 < 0.10, "p90 {}", s.p90);
+        assert!((s.p99 - 990.0).abs() / 990.0 < 0.10, "p99 {}", s.p99);
+    }
+
+    #[test]
+    fn quantiles_match_bimodal_distribution() {
+        let mut h = Histogram::new();
+        for _ in 0..90 {
+            h.record(10.0);
+        }
+        for _ in 0..10 {
+            h.record(10_000.0);
+        }
+        assert!((h.quantile(0.5) - 10.0).abs() / 10.0 < 0.10);
+        // The 0.95 quantile lands in the upper mode.
+        assert!((h.quantile(0.95) - 10_000.0).abs() / 10_000.0 < 0.10);
+    }
+
+    #[test]
+    fn tails_clamp_to_observed_extremes() {
+        let mut h = Histogram::new();
+        h.record(7.0);
+        assert_eq!(h.quantile(0.0), 7.0);
+        assert_eq!(h.quantile(1.0), 7.0);
+        assert_eq!(h.quantile(0.5), 7.0);
+    }
+
+    #[test]
+    fn empty_histogram_yields_nan() {
+        let h = Histogram::new();
+        assert!(h.quantile(0.5).is_nan());
+        assert!(h.snapshot("e").mean.is_nan());
+    }
+
+    #[test]
+    fn extreme_values_do_not_panic() {
+        let mut h = Histogram::new();
+        h.record(0.0); // clamped into first bucket
+        h.record(-5.0);
+        h.record(1e300); // clamped into last bucket
+        h.record(f64::NAN); // ignored
+        assert_eq!(h.count, 3);
+    }
+}

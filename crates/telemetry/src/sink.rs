@@ -1,0 +1,263 @@
+//! Event sinks: where telemetry events go.
+//!
+//! The default state has no sink installed, so events cost nothing. A
+//! [`JsonlSink`] streams every event as one JSON object per line; a
+//! [`CaptureSink`] buffers events in memory (tests, summary rendering).
+
+use std::fs::{self, File};
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use serde::Value;
+
+use crate::event::Event;
+
+/// Receives telemetry events. Implementations must be cheap and
+/// thread-safe; `emit` is called from whatever thread produced the event.
+pub trait Sink: Send + Sync {
+    /// Delivers one event.
+    fn emit(&self, event: &Event);
+
+    /// Flushes any buffered output (default: nothing to do).
+    fn flush(&self) {}
+}
+
+/// Discards every event.
+///
+/// ```
+/// use snia_telemetry::{Event, MetricKind, NoopSink, Sink};
+///
+/// let sink = NoopSink;
+/// sink.emit(&Event::Metric {
+///     name: "train.samples_per_sec".into(),
+///     kind: MetricKind::Gauge,
+///     value: 1.0,
+///     ts_ns: 0,
+/// });
+/// sink.flush(); // both are no-ops
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl Sink for NoopSink {
+    fn emit(&self, _event: &Event) {}
+}
+
+/// Buffers events in memory behind an `Arc`, so tests (or a summary
+/// renderer) can install one copy globally and inspect the other.
+///
+/// ```
+/// use snia_telemetry::{CaptureSink, Event, MetricKind, Sink};
+///
+/// let sink = CaptureSink::new();
+/// let handle = sink.clone();
+/// sink.emit(&Event::Metric {
+///     name: "eval.auc".into(),
+///     kind: MetricKind::Gauge,
+///     value: 0.5,
+///     ts_ns: 0,
+/// });
+/// assert_eq!(handle.events().len(), 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CaptureSink {
+    events: Arc<Mutex<Vec<Event>>>,
+}
+
+impl CaptureSink {
+    /// Creates an empty capture buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns a copy of every event captured so far.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.lock().expect("capture sink poisoned").clone()
+    }
+
+    /// Empties the buffer.
+    pub fn clear(&self) {
+        self.events.lock().expect("capture sink poisoned").clear();
+    }
+}
+
+impl Sink for CaptureSink {
+    fn emit(&self, event: &Event) {
+        self.events
+            .lock()
+            .expect("capture sink poisoned")
+            .push(event.clone());
+    }
+}
+
+/// Streams events to a file as JSON Lines (one compact object per line).
+///
+/// Parent directories are created on open. Output is buffered; call
+/// [`crate::flush`] (or drop the telemetry guard installing the sink)
+/// before reading the file.
+///
+/// ```
+/// use snia_telemetry::{Event, JsonlSink, MetricKind, Sink};
+///
+/// let path = std::env::temp_dir().join("snia-telemetry-doc/spans.jsonl");
+/// let sink = JsonlSink::create(&path).unwrap();
+/// sink.emit(&Event::Metric {
+///     name: "eval.auc".into(),
+///     kind: MetricKind::Gauge,
+///     value: 0.875,
+///     ts_ns: 42,
+/// });
+/// sink.flush();
+/// let text = std::fs::read_to_string(&path).unwrap();
+/// assert!(text.contains("\"eval.auc\""));
+/// # std::fs::remove_file(&path).ok();
+/// ```
+#[derive(Debug)]
+pub struct JsonlSink {
+    writer: Mutex<BufWriter<File>>,
+    path: PathBuf,
+}
+
+impl JsonlSink {
+    /// Opens (truncating) `path` for JSONL output, creating parent
+    /// directories as needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from directory creation or file open.
+    pub fn create(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                fs::create_dir_all(parent)?;
+            }
+        }
+        let file = File::create(&path)?;
+        Ok(JsonlSink {
+            writer: Mutex::new(BufWriter::new(file)),
+            path,
+        })
+    }
+
+    /// The path this sink writes to.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Sink for JsonlSink {
+    fn emit(&self, event: &Event) {
+        let mut line = String::with_capacity(128);
+        encode_value(&event.to_value(), &mut line);
+        line.push('\n');
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        // Telemetry must never take the pipeline down: drop on I/O error.
+        let _ = w.write_all(line.as_bytes());
+    }
+
+    fn flush(&self) {
+        let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+/// Compact JSON encoding of the serde value model. Lives here (rather
+/// than depending on `serde_json`) to keep this crate std + serde only;
+/// numbers use `Display`, which round-trips `f64` exactly, and non-finite
+/// floats become `null`.
+pub(crate) fn encode_value(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::I64(i) => out.push_str(&i.to_string()),
+        Value::U64(u) => out.push_str(&u.to_string()),
+        Value::F64(f) => {
+            if f.is_finite() {
+                let s = f.to_string();
+                out.push_str(&s);
+                if !s.contains('.') && !s.contains('e') && !s.contains('E') {
+                    out.push_str(".0");
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::Str(s) => encode_string(s, out),
+        Value::Seq(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Map(entries) => {
+            out.push('{');
+            for (i, (k, val)) in entries.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                encode_string(k, out);
+                out.push(':');
+                encode_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn encode_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encoder_handles_all_value_shapes() {
+        let v = Value::Map(vec![
+            ("s".into(), Value::Str("a\"b\nc".into())),
+            ("n".into(), Value::Null),
+            ("t".into(), Value::Bool(true)),
+            ("i".into(), Value::I64(-3)),
+            ("u".into(), Value::U64(u64::MAX)),
+            ("f".into(), Value::F64(2.5)),
+            ("nan".into(), Value::F64(f64::NAN)),
+            ("seq".into(), Value::Seq(vec![Value::U64(1), Value::U64(2)])),
+        ]);
+        let mut out = String::new();
+        encode_value(&v, &mut out);
+        assert_eq!(
+            out,
+            r#"{"s":"a\"b\nc","n":null,"t":true,"i":-3,"u":18446744073709551615,"f":2.5,"nan":null,"seq":[1,2]}"#
+        );
+    }
+
+    #[test]
+    fn whole_floats_keep_a_decimal_point() {
+        let mut out = String::new();
+        encode_value(&Value::F64(3.0), &mut out);
+        assert_eq!(out, "3.0");
+    }
+}

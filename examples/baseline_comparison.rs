@@ -41,8 +41,14 @@ fn main() {
         .iter()
         .map(|&i| poz.classify(&epoch_observations(&ds.samples[i], 0), None))
         .collect();
-    println!("  with redshift   : AUC {:.3}", auc(&scores_z, &test_labels));
-    println!("  without redshift: AUC {:.3}", auc(&scores_noz, &test_labels));
+    println!(
+        "  with redshift   : AUC {:.3}",
+        auc(&scores_z, &test_labels)
+    );
+    println!(
+        "  without redshift: AUC {:.3}",
+        auc(&scores_noz, &test_labels)
+    );
 
     // --- Lochner 2016: template fits + random forest, 4 epochs ---
     println!("\nLochner2016 (template fits + random forest, 4 epochs)...");
@@ -57,7 +63,10 @@ fn main() {
         },
     );
     let rf_scores = pipe.score(&ds, &test);
-    println!("  with redshift   : AUC {:.3}", auc(&rf_scores, &test_labels));
+    println!(
+        "  with redshift   : AUC {:.3}",
+        auc(&rf_scores, &test_labels)
+    );
 
     // --- Proposed: highway classifier on single-epoch features ---
     println!("\nProposed (single-epoch highway classifier)...");

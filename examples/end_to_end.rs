@@ -80,11 +80,17 @@ fn main() {
     // index, so an si-based rotation would leak the class via the dates.
     let train_ex: Vec<JointExample> = train
         .iter()
-        .map(|&si| JointExample { sample: si, epoch: (si / 2) % 4 })
+        .map(|&si| JointExample {
+            sample: si,
+            epoch: (si / 2) % 4,
+        })
         .collect();
     let val_ex: Vec<JointExample> = val
         .iter()
-        .map(|&si| JointExample { sample: si, epoch: (si / 2) % 4 })
+        .map(|&si| JointExample {
+            sample: si,
+            epoch: (si / 2) % 4,
+        })
         .collect();
     let hist = train_joint(
         &mut joint,
@@ -98,19 +104,31 @@ fn main() {
             seed: 5,
         },
     );
-    println!("  val acc after fine-tune: {:.3}", hist.last().unwrap().val_acc);
+    println!(
+        "  val acc after fine-tune: {:.3}",
+        hist.last().unwrap().val_acc
+    );
 
     // --- Classify the test set from images alone ---
     let test_ex: Vec<JointExample> = test
         .iter()
-        .map(|&si| JointExample { sample: si, epoch: 0 })
+        .map(|&si| JointExample {
+            sample: si,
+            epoch: 0,
+        })
         .collect();
     let (scores, labels) = joint_scores(&mut joint, &ds, &test_ex, 16);
-    println!("\njoint image->class test AUC: {:.3}", auc(&scores, &labels));
+    println!(
+        "\njoint image->class test AUC: {:.3}",
+        auc(&scores, &labels)
+    );
     println!("(paper: 0.897 with 12,000 samples and full training budgets)");
 
     println!("\nper-sample predictions (first 8):");
     for (s, l) in scores.iter().zip(&labels).take(8) {
-        println!("  P(Ia) = {s:.3}   truth: {}", if *l { "Ia" } else { "non-Ia" });
+        println!(
+            "  P(Ia) = {s:.3}   truth: {}",
+            if *l { "Ia" } else { "non-Ia" }
+        );
     }
 }

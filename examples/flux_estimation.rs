@@ -10,9 +10,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use snia_repro::core::flux_cnn::{FluxCnn, PoolKind};
-use snia_repro::core::train::{
-    flux_pair_refs, flux_predictions, train_flux_cnn, FluxTrainConfig,
-};
+use snia_repro::core::train::{flux_pair_refs, flux_predictions, train_flux_cnn, FluxTrainConfig};
 use snia_repro::dataset::{split_indices, Dataset, DatasetConfig};
 
 fn main() {
@@ -70,8 +68,7 @@ fn main() {
     // Calibration on detectable test pairs.
     let preds = flux_predictions(&mut cnn, &ds, &test_refs, crop, 32);
     let detectable: Vec<(f64, f64)> = preds.into_iter().filter(|(t, _)| *t < 28.0).collect();
-    let mae = detectable.iter().map(|(t, e)| (t - e).abs()).sum::<f64>()
-        / detectable.len() as f64;
+    let mae = detectable.iter().map(|(t, e)| (t - e).abs()).sum::<f64>() / detectable.len() as f64;
     println!(
         "\ntest: {} detectable pairs, mean |error| = {mae:.3} mag",
         detectable.len()

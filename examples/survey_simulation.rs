@@ -40,7 +40,10 @@ fn main() {
     );
 
     println!("\n--- observing campaign (5 bands x 4 epochs, <=2 bands/night) ---");
-    println!("reference epoch: MJD {:.1} (archival)", s.schedule.reference_mjd);
+    println!(
+        "reference epoch: MJD {:.1} (archival)",
+        s.schedule.reference_mjd
+    );
     let lc = s.light_curve();
     println!("\n  MJD      band  true mag   flux (counts)");
     for &(band, mjd) in &s.schedule.observations {
@@ -74,7 +77,9 @@ fn main() {
         .enumerate()
         .filter(|(_, (b, _))| *b == Band::I)
         .min_by(|a, b| {
-            lc.mag(a.1 .0, a.1 .1).partial_cmp(&lc.mag(b.1 .0, b.1 .1)).unwrap()
+            lc.mag(a.1 .0, a.1 .1)
+                .partial_cmp(&lc.mag(b.1 .0, b.1 .1))
+                .unwrap()
         })
         .unwrap();
     let pair = s.flux_pair(oi);

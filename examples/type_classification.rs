@@ -22,7 +22,10 @@ use snia_repro::nn::optim::{Adam, Optimizer};
 use snia_repro::nn::{Mode, Sequential, Tensor};
 
 fn type_index(t: SnType) -> usize {
-    SnType::ALL.iter().position(|&x| x == t).expect("known type")
+    SnType::ALL
+        .iter()
+        .position(|&x| x == t)
+        .expect("known type")
 }
 
 fn matrix(ds: &Dataset, idx: &[usize]) -> (Tensor, Vec<usize>) {

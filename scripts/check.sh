@@ -1,0 +1,16 @@
+#!/bin/bash
+# Pre-merge gate: formatting, lints, full test suite.
+# Usage: scripts/check.sh
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace -- -D warnings
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "ALL CHECKS PASSED"

@@ -69,14 +69,18 @@ fn parse_flags(args: &[String]) -> Result<HashMap<String, String>, String> {
 fn flag_usize(flags: &HashMap<String, String>, key: &str, default: usize) -> Result<usize, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got '{v}'")),
     }
 }
 
 fn flag_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<u64, String> {
     match flags.get(key) {
         None => Ok(default),
-        Some(v) => v.parse().map_err(|_| format!("--{key} expects an integer, got '{v}'")),
+        Some(v) => v
+            .parse()
+            .map_err(|_| format!("--{key} expects an integer, got '{v}'")),
     }
 }
 
@@ -107,9 +111,10 @@ fn cmd_dataset(flags: &HashMap<String, String>) -> Result<(), String> {
 fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
     let ds = build_dataset(flags)?;
     let i = flag_usize(flags, "sample", 0)?;
-    let s = ds.samples.get(i).ok_or_else(|| {
-        format!("sample {i} out of range (dataset has {} samples)", ds.len())
-    })?;
+    let s = ds
+        .samples
+        .get(i)
+        .ok_or_else(|| format!("sample {i} out of range (dataset has {} samples)", ds.len()))?;
     println!("sample {i}: {} at z = {:.3}", s.sn.sn_type, s.sn.redshift);
     println!(
         "  stretch {:.3}, colour {:+.3}, grey offset {:+.3}, peak MJD {:.1}",
@@ -120,9 +125,17 @@ fn cmd_inspect(flags: &HashMap<String, String>) -> Result<(), String> {
         s.galaxy.id, s.galaxy.mag_i, s.galaxy.r_eff_arcsec, s.galaxy.sersic_index
     );
     let lc = s.light_curve();
-    println!("  campaign ({} observations):", s.schedule.observations.len());
+    println!(
+        "  campaign ({} observations):",
+        s.schedule.observations.len()
+    );
     for &(band, mjd) in &s.schedule.observations {
-        println!("    MJD {:9.1}  {}  mag {:6.2}", mjd, band, lc.mag(band, mjd));
+        println!(
+            "    MJD {:9.1}  {}  mag {:6.2}",
+            mjd,
+            band,
+            lc.mag(band, mjd)
+        );
     }
     Ok(())
 }

@@ -25,13 +25,23 @@ fn handcrafted_features_separate_real_from_bogus_without_training() {
     let subset_labels: Vec<bool> = set
         .iter()
         .zip(&labels)
-        .filter(|(e, _)| matches!(e.kind, CandidateKind::RealTransient | CandidateKind::HotPixel | CandidateKind::CosmicRay))
+        .filter(|(e, _)| {
+            matches!(
+                e.kind,
+                CandidateKind::RealTransient | CandidateKind::HotPixel | CandidateKind::CosmicRay
+            )
+        })
         .map(|(_, &l)| l)
         .collect();
     let subset_scores: Vec<f64> = set
         .iter()
         .zip(&scores)
-        .filter(|(e, _)| matches!(e.kind, CandidateKind::RealTransient | CandidateKind::HotPixel | CandidateKind::CosmicRay))
+        .filter(|(e, _)| {
+            matches!(
+                e.kind,
+                CandidateKind::RealTransient | CandidateKind::HotPixel | CandidateKind::CosmicRay
+            )
+        })
         .map(|(_, &s)| s)
         .collect();
     let a = auc(&subset_scores, &subset_labels);
@@ -46,7 +56,10 @@ fn untrained_bogus_cnn_is_chance_level() {
     let mut cnn = BogusCnn::new(&mut rng);
     let scores = bogus_cnn_scores(&mut cnn, &set);
     let a = auc(&scores, &labels);
-    assert!((a - 0.5).abs() < 0.25, "untrained CNN suspiciously good: {a}");
+    assert!(
+        (a - 0.5).abs() < 0.25,
+        "untrained CNN suspiciously good: {a}"
+    );
 }
 
 #[test]
@@ -103,7 +116,11 @@ fn photometry_recovers_bright_supernovae() {
             errors.push((true_mag - est).abs());
         }
     }
-    assert!(errors.len() >= 10, "not enough bright pairs ({})", errors.len());
+    assert!(
+        errors.len() >= 10,
+        "not enough bright pairs ({})",
+        errors.len()
+    );
     let mae = errors.iter().sum::<f64>() / errors.len() as f64;
     assert!(mae < 0.25, "bright-end photometry MAE {mae}");
 }

@@ -132,7 +132,12 @@ fn flux_cnn_trains_and_transfers_into_joint_model() {
     // The trained CNN slots into the joint model and produces scores.
     let clf = LightCurveClassifier::new(1, 16, &mut rng);
     let mut jm = JointModel::from_pretrained(cnn, clf);
-    let ex: Vec<JointExample> = (0..4).map(|i| JointExample { sample: i, epoch: 0 }).collect();
+    let ex: Vec<JointExample> = (0..4)
+        .map(|i| JointExample {
+            sample: i,
+            epoch: 0,
+        })
+        .collect();
     let (scores, labels) = joint_scores(&mut jm, &ds, &ex, 2);
     assert_eq!(scores.len(), 4);
     assert_eq!(labels.len(), 4);
@@ -161,7 +166,10 @@ fn joint_model_forward_is_deterministic_in_eval() {
     let ds = small_dataset(12);
     let mut rng = StdRng::seed_from_u64(13);
     let mut jm = JointModel::from_scratch(36, 8, &mut rng);
-    let ex = [JointExample { sample: 0, epoch: 1 }];
+    let ex = [JointExample {
+        sample: 0,
+        epoch: 1,
+    }];
     let (s1, _) = joint_scores(&mut jm, &ds, &ex, 1);
     let (s2, _) = joint_scores(&mut jm, &ds, &ex, 1);
     assert_eq!(s1, s2);

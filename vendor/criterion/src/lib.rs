@@ -1,0 +1,273 @@
+//! Minimal reimplementation of the subset of the `criterion` API used by
+//! this workspace (the build environment has no crates.io access).
+//!
+//! It is a plain wall-clock harness: each benchmark is warmed up briefly,
+//! then timed over `sample_size` samples (each sample batching enough
+//! iterations to be measurable), and the median and minimum per-iteration
+//! times are printed. There are no plots, baselines or statistics beyond
+//! that — enough to compare hot paths before and after a change.
+//!
+//! Provided surface: [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`],
+//! [`Bencher::iter`], [`criterion_group!`], [`criterion_main!`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+const DEFAULT_SAMPLE_SIZE: usize = 10;
+const WARMUP: Duration = Duration::from_millis(30);
+const TARGET_SAMPLE: Duration = Duration::from_millis(15);
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    list_only: bool,
+    quick_test: bool,
+}
+
+impl Criterion {
+    /// Applies CLI arguments (`cargo bench` passes `--bench`; a bare string
+    /// filters benchmarks by substring; `--test` runs one quick iteration).
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--bench" => {}
+                "--test" => self.quick_test = true,
+                "--list" => self.list_only = true,
+                s if s.starts_with("--") => {}
+                s => self.filter = Some(s.to_string()),
+            }
+        }
+        self
+    }
+
+    fn should_run(&self, name: &str) -> bool {
+        match &self.filter {
+            Some(f) => name.contains(f.as_str()),
+            None => true,
+        }
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) {
+        self.run_one(name, DEFAULT_SAMPLE_SIZE, |b| f(b));
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: &str, sample_size: usize, mut f: F) {
+        if !self.should_run(name) {
+            return;
+        }
+        if self.list_only {
+            println!("{name}: bench");
+            return;
+        }
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            quick_test: self.quick_test,
+            sample_size,
+        };
+        f(&mut bencher);
+        bencher.report(name);
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timing samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Runs a benchmark under `group_name/name`.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: impl Display, mut f: F) {
+        let full = format!("{}/{}", self.name, name);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, |b| f(b));
+    }
+
+    /// Runs a parameterised benchmark under `group_name/id`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.0);
+        let sample_size = self.sample_size;
+        self.criterion.run_one(&full, sample_size, |b| f(b, input));
+    }
+
+    /// Ends the group (no-op; mirrors the upstream API).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier derived from a parameter value.
+pub struct BenchmarkId(String);
+
+impl BenchmarkId {
+    /// Builds an id whose name is the parameter's `Display` form.
+    pub fn from_parameter(p: impl Display) -> Self {
+        BenchmarkId(p.to_string())
+    }
+
+    /// Builds an id from a function name and a parameter.
+    pub fn new(name: impl Display, p: impl Display) -> Self {
+        BenchmarkId(format!("{name}/{p}"))
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    samples: Vec<f64>, // ns per iteration
+    quick_test: bool,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Measures `routine`, batching iterations into fixed-duration samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.quick_test {
+            std::hint::black_box(routine());
+            self.samples.push(f64::NAN);
+            return;
+        }
+        // Warm up and estimate the per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < WARMUP {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+        let iters_per_sample = ((TARGET_SAMPLE.as_secs_f64() / per_iter) as u64).max(1);
+
+        for _ in 0..self.sample_size {
+            let t = Instant::now();
+            for _ in 0..iters_per_sample {
+                std::hint::black_box(routine());
+            }
+            let ns = t.elapsed().as_secs_f64() * 1e9 / iters_per_sample as f64;
+            self.samples.push(ns);
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.iter().any(|s| s.is_nan()) {
+            println!("{name}: ok (quick test mode)");
+            return;
+        }
+        if self.samples.is_empty() {
+            println!("{name}: no samples (Bencher::iter never called)");
+            return;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        let median = sorted[sorted.len() / 2];
+        let min = sorted[0];
+        println!(
+            "{name}: median {} / iter (min {})",
+            format_ns(median),
+            format_ns(min)
+        );
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Defines a function running a sequence of benchmarks.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Defines `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_collects_samples() {
+        let mut c = Criterion {
+            filter: None,
+            list_only: false,
+            quick_test: true,
+        };
+        let mut ran = 0;
+        c.bench_function("noop", |b| {
+            b.iter(|| 1 + 1);
+        });
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3).bench_function("inner", |b| {
+            b.iter(|| 2 + 2);
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7, |b, &x| {
+            ran = x;
+            b.iter(|| x * 2);
+        });
+        group.finish();
+        assert_eq!(ran, 7);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            filter: Some("match_me".into()),
+            list_only: false,
+            quick_test: true,
+        };
+        let mut ran = false;
+        c.bench_function("other", |_b| ran = true);
+        assert!(!ran);
+        c.bench_function("yes_match_me_now", |_b| ran = true);
+        assert!(ran);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12.3), "12.3 ns");
+        assert!(format_ns(4_500.0).contains("µs"));
+        assert!(format_ns(4_500_000.0).contains("ms"));
+        assert!(format_ns(4_500_000_000.0).ends_with(" s"));
+    }
+}

@@ -1,0 +1,376 @@
+//! Minimal reimplementation of the subset of the `proptest` API used by
+//! this workspace (the build environment has no crates.io access).
+//!
+//! Differences from upstream: no shrinking (a failing case reports its
+//! inputs but is not minimised), and generation is driven by the vendored
+//! deterministic `rand::rngs::StdRng`. Each `proptest!` test derives its
+//! seed from the test name, so runs are reproducible.
+//!
+//! Provided surface: the [`proptest!`] macro with `#![proptest_config]`,
+//! [`Strategy`] (ranges, [`any`], `prop::collection::vec`,
+//! `prop::sample::select`), and the `prop_assert!` / `prop_assert_eq!` /
+//! `prop_assume!` macros.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Debug;
+use std::ops::Range;
+
+use rand::{SampleRange, SeedableRng};
+
+/// The generator handed to strategies (the vendored `StdRng`).
+pub type TestRng = rand::rngs::StdRng;
+
+/// A recipe for producing random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value this strategy yields.
+    type Value: Debug;
+
+    /// Draws one value from `rng`.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+impl<T: Debug> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+/// Strategy for "any value of `T`" (full integer range, `[0, 1)` floats,
+/// fair booleans). Construct with [`any`].
+pub struct Any<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Returns a strategy producing arbitrary values of `T`.
+pub fn any<T: rand::Standard + Debug>() -> Any<T> {
+    Any {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+impl<T: rand::Standard + Debug> Strategy for Any<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        rng.gen()
+    }
+}
+
+use rand::Rng as _;
+
+/// Collection strategies.
+pub mod collection {
+    use super::{SampleRange, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// Strategy yielding `Vec`s with length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Returns a strategy producing vectors of `element` values whose
+    /// length is uniform over `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.clone().sample_single(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Sampling strategies.
+pub mod sample {
+    use super::{Strategy, TestRng};
+    use rand::seq::SliceRandom;
+    use std::fmt::Debug;
+
+    /// Strategy yielding a uniformly chosen element of a fixed list.
+    pub struct Select<T> {
+        options: Vec<T>,
+    }
+
+    /// Returns a strategy choosing uniformly from `options`.
+    ///
+    /// # Panics
+    ///
+    /// Generation panics if `options` is empty.
+    pub fn select<T: Clone + Debug>(options: Vec<T>) -> Select<T> {
+        Select { options }
+    }
+
+    impl<T: Clone + Debug> Strategy for Select<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut TestRng) -> T {
+            self.options
+                .choose(rng)
+                .expect("select: empty option list")
+                .clone()
+        }
+    }
+}
+
+/// Runner configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Builds a config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Outcome of a single generated case: rejected by `prop_assume!` (retried)
+/// or failed by a `prop_assert!` (test failure).
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case did not satisfy a `prop_assume!` precondition.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+/// Derives a deterministic seed from a test name.
+pub fn seed_for(name: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut h);
+    h.finish()
+}
+
+/// Builds a fresh deterministic generator for a named test.
+pub fn rng_for(name: &str) -> TestRng {
+    TestRng::seed_from_u64(seed_for(name))
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!("assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two expressions compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({})\n  left: {:?}\n right: {:?}",
+                stringify!($left),
+                stringify!($right),
+                format!($($fmt)+),
+                l,
+                r
+            )));
+        }
+    }};
+}
+
+/// Rejects the current case (retried with fresh inputs) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(String::from(
+                stringify!($cond),
+            )));
+        }
+    };
+}
+
+/// Declares property tests. Each function body runs `config.cases` times
+/// with freshly generated inputs; `prop_assume!` rejections are retried
+/// (up to 16× the case budget) and `prop_assert!` failures panic with the
+/// generated inputs attached.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::__run_proptest!($config, $name, ($($arg in $strat),+), $body);
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $(
+                $(#[$meta])*
+                fn $name($($arg in $strat),+) $body
+            )*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]; not part of the public API.
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __run_proptest {
+    ($config:expr, $name:ident, ($($arg:ident in $strat:expr),+), $body:block) => {{
+        let __config: $crate::ProptestConfig = $config;
+        let mut __rng = $crate::rng_for(stringify!($name));
+        // Bind each strategy to its argument's name; the loop shadows the
+        // name with a generated value (the RHS still sees the strategy).
+        $(let $arg = $strat;)+
+        let mut __passed: u32 = 0;
+        let mut __rejected: u32 = 0;
+        while __passed < __config.cases {
+            $(let $arg = $crate::Strategy::generate(&$arg, &mut __rng);)+
+            let __args_desc = {
+                let mut s = ::std::string::String::new();
+                $(s.push_str(&format!("  {} = {:?}\n", stringify!($arg), &$arg));)+
+                s
+            };
+            let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                $body
+                ::std::result::Result::Ok(())
+            })();
+            match __outcome {
+                ::std::result::Result::Ok(()) => {
+                    __passed += 1;
+                }
+                ::std::result::Result::Err($crate::TestCaseError::Reject(cond)) => {
+                    __rejected += 1;
+                    if __rejected > __config.cases.saturating_mul(16) {
+                        panic!(
+                            "proptest {}: too many prop_assume! rejections ({cond})",
+                            stringify!($name)
+                        );
+                    }
+                }
+                ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                    panic!(
+                        "proptest {} failed after {} passing cases:\n{msg}\ninputs:\n{}",
+                        stringify!($name),
+                        __passed,
+                        __args_desc
+                    );
+                }
+            }
+        }
+    }};
+}
+
+/// Everything a property-test module needs.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, prop_assume, proptest};
+    pub use crate::{Any, ProptestConfig, Strategy, TestCaseError};
+
+    /// Namespaced strategy modules (`prop::collection`, `prop::sample`).
+    pub mod prop {
+        pub use crate::collection;
+        pub use crate::sample;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 1.5f64..2.5, n in 3usize..9) {
+            prop_assert!((1.5..2.5).contains(&x));
+            prop_assert!((3..9).contains(&n));
+        }
+
+        #[test]
+        fn vec_lengths_respect_size(v in prop::collection::vec(0.0f64..1.0, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5, "len {}", v.len());
+            prop_assert!(v.iter().all(|x| (0.0..1.0).contains(x)));
+        }
+
+        #[test]
+        fn select_yields_members(x in prop::sample::select(vec![10, 20, 30])) {
+            prop_assert!([10, 20, 30].contains(&x));
+        }
+
+        #[test]
+        fn assume_retries(n in 0usize..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+        }
+    }
+
+    #[test]
+    fn seeds_are_deterministic_and_distinct() {
+        assert_eq!(crate::seed_for("a"), crate::seed_for("a"));
+        assert_ne!(crate::seed_for("a"), crate::seed_for("b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest always_fails failed")]
+    fn failures_panic_with_inputs() {
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(4))]
+            fn always_fails(x in 0usize..10) {
+                prop_assert!(x > 100, "x was {x}");
+            }
+        }
+        always_fails();
+    }
+}

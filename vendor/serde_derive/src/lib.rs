@@ -1,0 +1,400 @@
+//! Derive macros for the vendored minimal `serde` subset.
+//!
+//! Implemented with the bare `proc_macro` API (no `syn`/`quote`, which are
+//! unavailable offline): a small token-walker extracts the shape of the
+//! deriving type, and the impls are emitted as source strings.
+//!
+//! Supported shapes — exactly what this workspace defines:
+//!
+//! * structs with named fields;
+//! * enums with unit, tuple or struct variants (externally tagged, like
+//!   upstream serde: `"Variant"`, `{"Variant": [..]}`, `{"Variant": {..}}`).
+//!
+//! Unsupported shapes (tuple structs, generics, `#[serde(...)]`
+//! attributes) panic with an explanatory message at expansion time.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` (value-based `to_value`).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let src = match &shape {
+        Shape::Struct { name, fields } => {
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants.iter().map(|v| serialize_arm(name, v)).collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("derive(Serialize): generated code must parse")
+}
+
+/// Derives `serde::Deserialize` (value-based `from_value`).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    let src = match &shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::map_get(m, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         let m = v.as_map().ok_or_else(|| ::serde::Error::custom(\
+                             \"{name}: expected object\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{0}\" => return ::std::result::Result::Ok({name}::{0}),",
+                        v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: String = variants
+                .iter()
+                .filter_map(|v| deserialize_tagged_arm(name, v))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) \
+                         -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                         if let ::std::option::Option::Some(s) = v.as_str() {{\n\
+                             match s {{ {unit_arms} _ => {{}} }}\n\
+                         }}\n\
+                         if let ::std::option::Option::Some(m) = v.as_map() {{\n\
+                             if m.len() == 1 {{\n\
+                                 let (tag, inner) = &m[0];\n\
+                                 match tag.as_str() {{ {tagged_arms} _ => {{}} }}\n\
+                             }}\n\
+                         }}\n\
+                         ::std::result::Result::Err(::serde::Error::custom(\
+                             \"{name}: unrecognised variant\"))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    src.parse()
+        .expect("derive(Deserialize): generated code must parse")
+}
+
+fn serialize_arm(name: &str, v: &Variant) -> String {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => {
+            format!("{name}::{vn} => ::serde::Value::Str(::std::string::String::from(\"{vn}\")),")
+        }
+        VariantKind::Tuple(n) => {
+            let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+            let items: String = binds
+                .iter()
+                .map(|b| format!("::serde::Serialize::to_value({b}),"))
+                .collect();
+            format!(
+                "{name}::{vn}({}) => ::serde::Value::Map(::std::vec![(\
+                     ::std::string::String::from(\"{vn}\"), \
+                     ::serde::Value::Seq(::std::vec![{items}]))]),",
+                binds.join(", ")
+            )
+        }
+        VariantKind::Struct(fields) => {
+            let binds = fields.join(", ");
+            let entries: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value({f})),"
+                    )
+                })
+                .collect();
+            format!(
+                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(::std::vec![(\
+                     ::std::string::String::from(\"{vn}\"), \
+                     ::serde::Value::Map(::std::vec![{entries}]))]),"
+            )
+        }
+    }
+}
+
+fn deserialize_tagged_arm(name: &str, v: &Variant) -> Option<String> {
+    let vn = &v.name;
+    match &v.kind {
+        VariantKind::Unit => None,
+        VariantKind::Tuple(n) => {
+            let items: String = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&seq[{i}])?,"))
+                .collect();
+            Some(format!(
+                "\"{vn}\" => {{\n\
+                     let seq = inner.as_array().ok_or_else(|| ::serde::Error::custom(\
+                         \"{name}::{vn}: expected array\"))?;\n\
+                     if seq.len() != {n} {{\n\
+                         return ::std::result::Result::Err(::serde::Error::custom(\
+                             \"{name}::{vn}: wrong tuple arity\"));\n\
+                     }}\n\
+                     return ::std::result::Result::Ok({name}::{vn}({items}));\n\
+                 }}"
+            ))
+        }
+        VariantKind::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             ::serde::map_get(fm, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            Some(format!(
+                "\"{vn}\" => {{\n\
+                     let fm = inner.as_map().ok_or_else(|| ::serde::Error::custom(\
+                         \"{name}::{vn}: expected object\"))?;\n\
+                     return ::std::result::Result::Ok({name}::{vn} {{ {inits} }});\n\
+                 }}"
+            ))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Token walking
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut toks = input.into_iter().peekable();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        match toks.next() {
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "struct" => {
+                let name = expect_ident(&mut toks, "struct name");
+                reject_generics(&mut toks, &name);
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Shape::Struct {
+                            name,
+                            fields: parse_named_fields(g.stream()),
+                        };
+                    }
+                    _ => panic!(
+                        "derive(Serialize/Deserialize): `{name}` is not a named-field \
+                         struct; the vendored serde subset only supports named fields"
+                    ),
+                }
+            }
+            Some(TokenTree::Ident(kw)) if kw.to_string() == "enum" => {
+                let name = expect_ident(&mut toks, "enum name");
+                reject_generics(&mut toks, &name);
+                match toks.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Shape::Enum {
+                            name,
+                            variants: parse_variants(g.stream()),
+                        };
+                    }
+                    _ => panic!("derive: malformed enum `{name}`"),
+                }
+            }
+            Some(_) => continue,
+            None => panic!("derive: no struct or enum found in input"),
+        }
+    }
+}
+
+fn skip_attrs_and_vis(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    loop {
+        match toks.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                toks.next();
+                toks.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                toks.next();
+                if let Some(TokenTree::Group(g)) = toks.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        toks.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(
+    toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>,
+    what: &str,
+) -> String {
+    match toks.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected {what}, found {other:?}"),
+    }
+}
+
+fn reject_generics(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>, name: &str) {
+    if let Some(TokenTree::Punct(p)) = toks.peek() {
+        if p.as_char() == '<' {
+            panic!(
+                "derive: `{name}` is generic; the vendored serde subset does not \
+                 support generic types"
+            );
+        }
+    }
+}
+
+/// Parses `field: Type, ...` keeping only the field names. Commas nested in
+/// `<...>` or any bracketed group do not terminate a field.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut toks = stream.into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("derive: expected field name, found {other:?}"),
+            None => break,
+        };
+        match toks.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("derive: expected `:` after field `{name}`, found {other:?}"),
+        }
+        skip_type(&mut toks);
+        fields.push(name);
+    }
+    fields
+}
+
+/// Consumes type tokens up to (and including) the next top-level comma.
+fn skip_type(toks: &mut std::iter::Peekable<impl Iterator<Item = TokenTree>>) {
+    let mut angle_depth = 0usize;
+    for tok in toks.by_ref() {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut toks = stream.into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        skip_attrs_and_vis(&mut toks);
+        let name = match toks.next() {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            Some(other) => panic!("derive: expected variant name, found {other:?}"),
+            None => break,
+        };
+        let kind = match toks.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                toks.next();
+                VariantKind::Struct(fields)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let n = count_tuple_fields(g.stream());
+                toks.next();
+                VariantKind::Tuple(n)
+            }
+            _ => VariantKind::Unit,
+        };
+        // Discriminant values (`= expr`) and the separating comma.
+        for tok in toks.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                if p.as_char() == ',' {
+                    break;
+                }
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut angle_depth = 0usize;
+    let mut fields = 0usize;
+    let mut saw_tokens = false;
+    for tok in stream {
+        saw_tokens = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth = angle_depth.saturating_sub(1),
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    saw_tokens = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    fields + usize::from(saw_tokens)
+}
