@@ -244,6 +244,7 @@ fn main() {
         batch_size: 64,
         lr: 3e-3,
         seed: cfg.seed + 62,
+        threads: cfg.threads,
     };
     train_classifier(&mut hw, (&xt, &tt), (&xv, &tv), &ccfg);
     let highway_auc = auc(&classifier_scores(&mut hw, &xe), &labels);

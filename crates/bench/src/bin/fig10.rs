@@ -48,6 +48,7 @@ fn main() {
             batch_size: 64,
             lr: 3e-3,
             seed: cfg.seed + k as u64,
+            threads: cfg.threads,
         };
         train_classifier(&mut clf, (&xt, &tt), (&xv, &tv), &tcfg);
         let scores = classifier_scores(&mut clf, &xe);

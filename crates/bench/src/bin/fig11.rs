@@ -73,6 +73,7 @@ fn main() {
         pairs_per_sample: 2,
         augment: true,
         seed: cfg.seed + 2,
+        threads: cfg.threads,
     };
     let h = train_flux_cnn(&mut cnn, &ds, &train_refs, &val_refs, &fcfg);
     progress!(
@@ -90,6 +91,7 @@ fn main() {
         batch_size: 64,
         lr: 3e-3,
         seed: cfg.seed + 3,
+        threads: cfg.threads,
     };
     train_classifier(&mut clf, (&xt, &tt), (&xv, &tv), &ccfg);
 
@@ -108,6 +110,7 @@ fn main() {
         batch_size: 8,
         lr: 5e-4, // small: fine-tuning
         seed: cfg.seed + 4,
+        threads: cfg.threads,
     };
     let hist = train_joint(&mut jm, &ds, &train_ex, &val_ex, &jcfg);
     for r in &hist {

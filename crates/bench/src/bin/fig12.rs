@@ -70,6 +70,7 @@ fn main() {
             pairs_per_sample: 2,
             augment: true,
             seed: cfg.seed + 5,
+            threads: cfg.threads,
         },
     );
     let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
@@ -84,6 +85,7 @@ fn main() {
             batch_size: 64,
             lr: 3e-3,
             seed: cfg.seed + 6,
+            threads: cfg.threads,
         },
     );
     let mut fine = JointModel::from_pretrained(cnn, clf);
@@ -98,6 +100,7 @@ fn main() {
             batch_size: 8,
             lr: 2e-4,
             seed: cfg.seed + 7,
+            threads: cfg.threads,
         },
     );
 
@@ -115,6 +118,7 @@ fn main() {
             batch_size: 8,
             lr: 1e-3, // scratch needs a full-size rate
             seed: cfg.seed + 8,
+            threads: cfg.threads,
         },
     );
 

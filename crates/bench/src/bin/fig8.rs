@@ -56,6 +56,7 @@ fn main() {
         pairs_per_sample: 3,
         augment: true,
         seed: cfg.seed + 1,
+        threads: cfg.threads,
     };
     let hist = train_flux_cnn(&mut cnn, &ds, &train_refs, &val_refs, &tcfg);
     for h in &hist {

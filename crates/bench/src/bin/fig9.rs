@@ -47,6 +47,7 @@ fn main() {
             batch_size: 64,
             lr: 3e-3,
             seed: cfg.seed + hidden as u64,
+            threads: cfg.threads,
         };
         train_classifier(&mut clf, (&xt, &tt), (&xv, &tv), &tcfg);
         let scores = classifier_scores(&mut clf, &xe);

@@ -67,6 +67,7 @@ fn main() {
             batch_size: 64,
             lr: 3e-3,
             seed: cfg.seed + 42,
+            threads: cfg.threads,
         },
     );
     let mut rows_feat: Vec<f32> = Vec::new();

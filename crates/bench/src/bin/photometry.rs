@@ -105,6 +105,7 @@ fn main() {
             pairs_per_sample: 3,
             augment: true,
             seed: cfg.seed + 604,
+            threads: cfg.threads,
         },
     );
     let cnn_pairs: Vec<(f64, f64)> = flux_predictions(&mut cnn, &ds, &test_refs, crop, 32)

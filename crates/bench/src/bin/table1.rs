@@ -76,6 +76,7 @@ fn main() {
                 pairs_per_sample,
                 augment: true,
                 seed: cfg.seed + seed,
+                threads: cfg.threads,
             };
             let hist = train_flux_cnn(&mut cnn, &ds, &train_refs, &val_refs, &tcfg);
             let last = hist.last().expect("non-empty history");

@@ -154,6 +154,7 @@ fn main() {
         batch_size: 64,
         lr: 3e-3,
         seed: cfg.seed + 32,
+        threads: cfg.threads,
     };
     train_classifier(&mut clf1, (&xt1, &tt1), (&xv1, &tv1), &ccfg);
     let auc_single = auc(&classifier_scores(&mut clf1, &xe1), &le1);

@@ -1,0 +1,123 @@
+//! CI guard: validates a telemetry JSONL file written via `--metrics-out`.
+//!
+//! Every line must parse as a JSON object whose `type` discriminator is one
+//! of the four event kinds emitted by `snia-telemetry` (`span_enter`,
+//! `span_exit`, `metric`, `record`) and carry that kind's required fields.
+//! The file must contain at least one span pair and one metric so an
+//! accidentally disabled sink fails the smoke job instead of passing
+//! vacuously.
+//!
+//! Usage: `validate_jsonl <events.jsonl>`
+
+use std::process::ExitCode;
+
+use serde::Value;
+
+fn require_str(v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key).and_then(Value::as_str) {
+        Some(_) => Ok(()),
+        None => Err(format!("missing string field '{key}'")),
+    }
+}
+
+fn require_u64(v: &Value, key: &str) -> Result<(), String> {
+    match v.get(key).and_then(Value::as_u64) {
+        Some(_) => Ok(()),
+        None => Err(format!("missing integer field '{key}'")),
+    }
+}
+
+fn validate_line(line: &str) -> Result<&'static str, String> {
+    let v: Value = serde_json::from_str(line).map_err(|e| format!("invalid JSON: {e:?}"))?;
+    if v.as_map().is_none() {
+        return Err("line is not a JSON object".into());
+    }
+    let ty = v
+        .get("type")
+        .and_then(Value::as_str)
+        .ok_or("missing 'type' discriminator")?
+        .to_string();
+    require_u64(&v, "ts_ns")?;
+    match ty.as_str() {
+        "span_enter" => {
+            require_str(&v, "name")?;
+            require_str(&v, "path")?;
+            require_u64(&v, "depth")?;
+            Ok("span_enter")
+        }
+        "span_exit" => {
+            require_str(&v, "name")?;
+            require_str(&v, "path")?;
+            require_u64(&v, "depth")?;
+            require_u64(&v, "elapsed_ns")?;
+            Ok("span_exit")
+        }
+        "metric" => {
+            require_str(&v, "name")?;
+            require_str(&v, "kind")?;
+            v.get("value")
+                .and_then(Value::as_f64)
+                .ok_or("missing numeric field 'value'")?;
+            Ok("metric")
+        }
+        "record" => {
+            require_str(&v, "kind")?;
+            v.get("value").ok_or("missing field 'value'")?;
+            Ok("record")
+        }
+        other => Err(format!("unknown event type '{other}'")),
+    }
+}
+
+fn run(path: &str) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let (mut enters, mut exits, mut metrics, mut records) = (0usize, 0usize, 0usize, 0usize);
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        match validate_line(line).map_err(|e| format!("{path}:{}: {e}", i + 1))? {
+            "span_enter" => enters += 1,
+            "span_exit" => exits += 1,
+            "metric" => metrics += 1,
+            _ => records += 1,
+        }
+    }
+    if lines == 0 {
+        return Err(format!("{path}: no events — was telemetry enabled?"));
+    }
+    if enters == 0 || exits == 0 {
+        return Err(format!(
+            "{path}: expected span_enter and span_exit events (got {enters}/{exits})"
+        ));
+    }
+    if metrics == 0 {
+        return Err(format!("{path}: expected at least one metric event"));
+    }
+    if enters != exits {
+        return Err(format!(
+            "{path}: unbalanced spans: {enters} enters vs {exits} exits"
+        ));
+    }
+    println!(
+        "{path}: OK — {lines} events ({enters} span pairs, {metrics} metrics, {records} records)"
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: validate_jsonl <events.jsonl>");
+        return ExitCode::FAILURE;
+    };
+    match run(path) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

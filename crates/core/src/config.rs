@@ -6,7 +6,10 @@
 //! * `SNIA_FULL=1` — paper scale (12,000 samples, full training budgets);
 //! * `SNIA_SCALE=<f64>` — multiplies dataset size and training epochs
 //!   (default 1.0 ≙ the laptop-quick configuration);
-//! * `SNIA_SEED=<u64>` — master seed (default 20170101).
+//! * `SNIA_SEED=<u64>` — master seed (default 20170101);
+//! * `SNIA_THREADS=<usize>` — data-parallel training threads (default 1);
+//!   the `--threads N` CLI flag (see [`threads_from_args`]) wins over the
+//!   environment.
 
 use snia_dataset::DatasetConfig;
 
@@ -19,10 +22,14 @@ pub struct ExperimentConfig {
     pub train_scale: f64,
     /// Master seed.
     pub seed: u64,
+    /// Data-parallel training threads (see
+    /// [`crate::parallel::BatchExecutor`]).
+    pub threads: usize,
 }
 
 impl ExperimentConfig {
-    /// Reads the configuration from the environment (see module docs).
+    /// Reads the configuration from the environment and the process's CLI
+    /// arguments (see module docs).
     pub fn from_env() -> Self {
         let seed = std::env::var("SNIA_SEED")
             .ok()
@@ -35,7 +42,14 @@ impl ExperimentConfig {
             .ok()
             .and_then(|s| s.parse().ok())
             .unwrap_or(1.0);
-        Self::build(full, scale, seed)
+        let mut cfg = Self::build(full, scale, seed);
+        cfg.threads = threads_from_args(std::env::args().skip(1)).unwrap_or_else(|| {
+            std::env::var("SNIA_THREADS")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(1)
+        });
+        cfg
     }
 
     /// Builds a configuration explicitly (used by tests; `from_env` is the
@@ -56,6 +70,7 @@ impl ExperimentConfig {
             dataset,
             train_scale: if full { 4.0 } else { scale },
             seed,
+            threads: 1,
         }
     }
 
@@ -63,6 +78,21 @@ impl ExperimentConfig {
     pub fn scaled(&self, base: usize) -> usize {
         ((base as f64 * self.train_scale).round() as usize).max(1)
     }
+}
+
+/// Parses `--threads N` / `--threads=N` from an argument stream; `None`
+/// when absent or malformed.
+pub fn threads_from_args<I: IntoIterator<Item = String>>(args: I) -> Option<usize> {
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--threads" {
+            return iter.next().and_then(|v| v.parse().ok()).filter(|&t| t > 0);
+        }
+        if let Some(v) = arg.strip_prefix("--threads=") {
+            return v.parse().ok().filter(|&t| t > 0);
+        }
+    }
+    None
 }
 
 #[cfg(test)]
@@ -101,5 +131,23 @@ mod tests {
     #[should_panic(expected = "invalid scale")]
     fn bad_scale_panics() {
         ExperimentConfig::build(false, 0.0, 1);
+    }
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn threads_flag_forms() {
+        assert_eq!(threads_from_args(args(&["--threads", "4"])), Some(4));
+        assert_eq!(threads_from_args(args(&["--threads=2"])), Some(2));
+        assert_eq!(
+            threads_from_args(args(&["--metrics-out", "m.jsonl", "--threads", "8"])),
+            Some(8)
+        );
+        assert_eq!(threads_from_args(args(&[])), None);
+        assert_eq!(threads_from_args(args(&["--threads"])), None);
+        assert_eq!(threads_from_args(args(&["--threads", "zero"])), None);
+        assert_eq!(threads_from_args(args(&["--threads", "0"])), None);
     }
 }

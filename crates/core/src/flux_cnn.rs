@@ -26,6 +26,7 @@ pub enum PoolKind {
 pub struct FluxCnn {
     net: Sequential,
     crop: usize,
+    pool: PoolKind,
 }
 
 /// Channel progression of the conv blocks (from the paper).
@@ -60,12 +61,17 @@ impl FluxCnn {
         net.push(Linear::new(64, 32, rng));
         net.push(PRelu::shared());
         net.push(Linear::new(32, 1, rng));
-        FluxCnn { net, crop }
+        FluxCnn { net, crop, pool }
     }
 
     /// The expected input crop size.
     pub fn crop(&self) -> usize {
         self.crop
+    }
+
+    /// The pooling flavour the conv blocks were built with.
+    pub fn pool(&self) -> PoolKind {
+        self.pool
     }
 
     /// Forward pass over an `(N, 1, crop, crop)` batch, producing `(N, 1)`
@@ -123,6 +129,24 @@ impl FluxCnn {
     /// Mutable access to the underlying network (for checkpoint restore).
     pub fn network_mut(&mut self) -> &mut Sequential {
         &mut self.net
+    }
+}
+
+impl crate::parallel::Replica for FluxCnn {
+    fn replicate(&self) -> Self {
+        // The RNG only seeds throwaway initial weights; the executor
+        // overwrites every parameter value before each step.
+        let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(0);
+        FluxCnn::new(self.crop, self.pool, &mut rng)
+    }
+    fn params(&self) -> Vec<&Param> {
+        FluxCnn::params(self)
+    }
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        FluxCnn::params_mut(self)
+    }
+    fn zero_grad(&mut self) {
+        FluxCnn::zero_grad(self);
     }
 }
 

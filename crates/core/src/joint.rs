@@ -145,6 +145,21 @@ impl JointModel {
     }
 }
 
+impl crate::parallel::Replica for JointModel {
+    fn replicate(&self) -> Self {
+        JointModel::from_pretrained(self.cnn.replicate(), self.classifier.replicate())
+    }
+    fn params(&self) -> Vec<&Param> {
+        JointModel::params(self)
+    }
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        JointModel::params_mut(self)
+    }
+    fn zero_grad(&mut self) {
+        JointModel::zero_grad(self);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -33,6 +33,7 @@ pub mod eval;
 pub mod flux_cnn;
 pub mod input;
 pub mod joint;
+pub mod parallel;
 pub mod train;
 
 pub use classifier::LightCurveClassifier;
@@ -41,3 +42,4 @@ pub use eval::{auc, roc_curve, RocPoint};
 pub use flux_cnn::FluxCnn;
 pub use input::{mag_to_target, pair_to_input, target_to_mag};
 pub use joint::JointModel;
+pub use parallel::{BatchExecutor, Replica};

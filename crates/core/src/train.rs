@@ -20,6 +20,7 @@ use crate::classifier::LightCurveClassifier;
 use crate::flux_cnn::FluxCnn;
 use crate::input::{batch_pairs, mag_to_target, target_to_mag};
 use crate::joint::JointModel;
+use crate::parallel::{BatchExecutor, ShardStats};
 
 /// One epoch of a training history.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -61,6 +62,9 @@ pub struct FluxTrainConfig {
     pub augment: bool,
     /// Shuffling/ordering seed.
     pub seed: u64,
+    /// Data-parallel worker threads per minibatch (1 = sequential; see
+    /// [`crate::parallel::BatchExecutor`]).
+    pub threads: usize,
 }
 
 impl Default for FluxTrainConfig {
@@ -73,6 +77,7 @@ impl Default for FluxTrainConfig {
             pairs_per_sample: 4,
             augment: true,
             seed: 7,
+            threads: 1,
         }
     }
 }
@@ -148,6 +153,7 @@ pub fn train_flux_cnn(
     let _fit = snia_telemetry::span!("fit", model = "flux_cnn", epochs = cfg.epochs);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
+    let mut exec = BatchExecutor::new(&*cnn, cfg.threads);
     let mut order: Vec<usize> = (0..train_refs.len()).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
@@ -159,27 +165,39 @@ pub fn train_flux_cnn(
         for chunk in order.chunks(cfg.batch_size) {
             let _batch_span = snia_telemetry::span!("batch", batch = batches, size = chunk.len());
             let refs: Vec<(usize, usize)> = chunk.iter().map(|&i| train_refs[i]).collect();
-            let (mut x, t) = render_flux_batch(ds, &refs, cfg.crop);
-            if cfg.augment {
-                let px = cfg.crop * cfg.crop;
-                for i in 0..refs.len() {
-                    let code: u8 = rng.gen_range(0..8);
-                    crate::input::d4_transform(
-                        &mut x.data_mut()[i * px..(i + 1) * px],
-                        cfg.crop,
-                        code,
-                    );
-                }
-            }
-            let y = {
-                let _t = snia_telemetry::timer("nn.forward_ns");
-                cnn.forward(&x, Mode::Train)
+            // Augmentation codes are drawn on the main RNG before sharding,
+            // so the stream is identical for every thread count.
+            let codes: Vec<u8> = if cfg.augment {
+                (0..refs.len()).map(|_| rng.gen_range(0..8)).collect()
+            } else {
+                Vec::new()
             };
-            let (loss, grad) = mse_loss(&y, &t);
-            cnn.zero_grad();
-            cnn.backward(&grad);
+            let stats = exec.step(cnn, refs.len(), |model, range, scale| {
+                let shard = &refs[range.clone()];
+                let (mut x, t) = render_flux_batch(ds, shard, cfg.crop);
+                if cfg.augment {
+                    let px = cfg.crop * cfg.crop;
+                    for (i, &code) in codes[range].iter().enumerate() {
+                        crate::input::d4_transform(
+                            &mut x.data_mut()[i * px..(i + 1) * px],
+                            cfg.crop,
+                            code,
+                        );
+                    }
+                }
+                let y = {
+                    let _t = snia_telemetry::timer("nn.forward_ns");
+                    model.forward(&x, Mode::Train)
+                };
+                let (loss, mut grad) = mse_loss(&y, &t);
+                if scale != 1.0 {
+                    grad = &grad * scale;
+                }
+                model.backward(&grad);
+                ShardStats::regression(f64::from(loss), shard.len())
+            });
             opt.step(&mut cnn.params_mut());
-            loss_sum += f64::from(loss);
+            loss_sum += stats.loss;
             batches += 1;
         }
         record_epoch_rate(order.len(), batches, epoch_start);
@@ -309,6 +327,9 @@ pub struct ClassifierTrainConfig {
     pub lr: f32,
     /// Shuffling seed.
     pub seed: u64,
+    /// Data-parallel worker threads per minibatch (1 = sequential; see
+    /// [`crate::parallel::BatchExecutor`]).
+    pub threads: usize,
 }
 
 impl Default for ClassifierTrainConfig {
@@ -318,6 +339,7 @@ impl Default for ClassifierTrainConfig {
             batch_size: 64,
             lr: 3e-3,
             seed: 13,
+            threads: 1,
         }
     }
 }
@@ -352,6 +374,7 @@ pub fn train_classifier(
     let _fit = snia_telemetry::span!("fit", model = "classifier", epochs = cfg.epochs);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
+    let mut exec = BatchExecutor::new(&*clf, cfg.threads);
     let n = x_train.shape()[0];
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
@@ -363,17 +386,23 @@ pub fn train_classifier(
         let mut batches = 0;
         for chunk in order.chunks(cfg.batch_size) {
             let _batch_span = snia_telemetry::span!("batch", batch = batches, size = chunk.len());
-            let xb = rows_of(x_train, chunk);
-            let tb = rows_of(t_train, chunk);
-            let y = {
-                let _t = snia_telemetry::timer("nn.forward_ns");
-                clf.forward(&xb, Mode::Train)
-            };
-            let (loss, grad) = bce_with_logits(&y, &tb);
-            clf.zero_grad();
-            clf.backward(&grad);
+            let stats = exec.step(clf, chunk.len(), |model, range, scale| {
+                let idx = &chunk[range];
+                let xb = rows_of(x_train, idx);
+                let tb = rows_of(t_train, idx);
+                let y = {
+                    let _t = snia_telemetry::timer("nn.forward_ns");
+                    model.forward(&xb, Mode::Train)
+                };
+                let (loss, mut grad) = bce_with_logits(&y, &tb);
+                if scale != 1.0 {
+                    grad = &grad * scale;
+                }
+                model.backward(&grad);
+                ShardStats::regression(f64::from(loss), idx.len())
+            });
             opt.step(&mut clf.params_mut());
-            loss_sum += f64::from(loss);
+            loss_sum += stats.loss;
             batches += 1;
         }
         record_epoch_rate(order.len(), batches, epoch_start);
@@ -498,6 +527,7 @@ pub fn train_joint(
     let crop = jm.crop();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
+    let mut exec = BatchExecutor::new(&*jm, cfg.threads);
     let mut order: Vec<usize> = (0..train_ex.len()).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
     for epoch in 0..cfg.epochs {
@@ -510,24 +540,34 @@ pub fn train_joint(
         for chunk in order.chunks(cfg.batch_size) {
             let _batch_span = snia_telemetry::span!("batch", batch = batches, size = chunk.len());
             let exs: Vec<JointExample> = chunk.iter().map(|&i| train_ex[i]).collect();
-            let (images, dates, targets, _) = joint_batch(ds, &exs, crop);
-            let y = {
-                let _t = snia_telemetry::timer("nn.forward_ns");
-                jm.forward(&images, &dates, Mode::Train)
-            };
-            let (loss, grad) = bce_with_logits(&y, &targets);
-            jm.zero_grad();
-            jm.backward(&grad);
+            let stats = exec.step(jm, exs.len(), |model, range, scale| {
+                let shard = &exs[range];
+                let (images, dates, targets, _) = joint_batch(ds, shard, crop);
+                let y = {
+                    let _t = snia_telemetry::timer("nn.forward_ns");
+                    model.forward(&images, &dates, Mode::Train)
+                };
+                let (loss, mut grad) = bce_with_logits(&y, &targets);
+                if scale != 1.0 {
+                    grad = &grad * scale;
+                }
+                model.backward(&grad);
+                let probs = sigmoid_probs(&y);
+                let correct = probs
+                    .data()
+                    .iter()
+                    .zip(targets.data())
+                    .filter(|(&p, &t)| (p >= 0.5) == (t >= 0.5))
+                    .count();
+                ShardStats {
+                    loss: f64::from(loss),
+                    correct,
+                    samples: shard.len(),
+                }
+            });
             opt.step(&mut jm.params_mut());
-            loss_sum += f64::from(loss);
-            let probs = sigmoid_probs(&y);
-            let correct = probs
-                .data()
-                .iter()
-                .zip(targets.data())
-                .filter(|(&p, &t)| (p >= 0.5) == (t >= 0.5))
-                .count();
-            acc_sum += correct as f64 / targets.len() as f64;
+            loss_sum += stats.loss;
+            acc_sum += stats.correct as f64 / stats.samples as f64;
             batches += 1;
         }
         record_epoch_rate(order.len(), batches, epoch_start);
@@ -639,6 +679,7 @@ mod tests {
             pairs_per_sample: 2,
             augment: true,
             seed: 5,
+            threads: 1,
         };
         let hist = train_flux_cnn(&mut cnn, &ds, &train_refs, &val_refs, &cfg);
         assert_eq!(hist.len(), 3);
@@ -690,6 +731,7 @@ mod tests {
             batch_size: 64,
             lr: 3e-3,
             seed: 9,
+            threads: 1,
         };
         let hist = train_classifier(&mut clf, (&xt, &tt), (&xv, &tv), &cfg);
         let last = hist.last().unwrap();
@@ -729,6 +771,91 @@ mod tests {
         assert_eq!(targets.shape(), &[3, 1]);
         assert_eq!(labels.len(), 3);
         assert!(images.all_finite());
+    }
+
+    #[test]
+    fn classifier_executor_gradients_match_across_thread_counts() {
+        // The classifier has no batch normalisation, so sharded training
+        // computes the same full-batch mean gradient as the sequential
+        // path (up to f32 summation order).
+        let ds = tiny_ds();
+        let idx: Vec<usize> = (0..16).collect();
+        let (x, t, _) = feature_matrix(&ds, &idx, 4);
+        let chunk: Vec<usize> = (0..16).collect();
+        let mut grads: Vec<Vec<f32>> = Vec::new();
+        for threads in [1usize, 4] {
+            let mut rng = StdRng::seed_from_u64(11);
+            let mut clf = LightCurveClassifier::new(4, 16, &mut rng);
+            let mut exec = BatchExecutor::new(&clf, threads);
+            let stats = exec.step(&mut clf, chunk.len(), |model, range, scale| {
+                let idx = &chunk[range];
+                let xb = rows_of(&x, idx);
+                let tb = rows_of(&t, idx);
+                let y = model.forward(&xb, Mode::Train);
+                let (loss, mut grad) = bce_with_logits(&y, &tb);
+                if scale != 1.0 {
+                    grad = &grad * scale;
+                }
+                model.backward(&grad);
+                ShardStats::regression(f64::from(loss), idx.len())
+            });
+            assert_eq!(stats.samples, chunk.len());
+            grads.push(
+                clf.params()
+                    .iter()
+                    .flat_map(|p| p.grad.data().iter().copied())
+                    .collect(),
+            );
+        }
+        let (a, b) = (&grads[0], &grads[1]);
+        assert_eq!(a.len(), b.len());
+        for (i, (x, y)) in a.iter().zip(b).enumerate() {
+            let tol = 1e-6 + 1e-4 * x.abs().max(y.abs());
+            assert!((x - y).abs() <= tol, "grad[{i}]: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn threaded_flux_training_runs() {
+        let ds = tiny_ds();
+        let (tr, va, _) = split_indices(ds.len(), 1);
+        let train_refs = flux_pair_refs(&ds, &tr, 2, 2);
+        let val_refs = flux_pair_refs(&ds, &va, 2, 3);
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut cnn = FluxCnn::new(36, PoolKind::Max, &mut rng);
+        let cfg = FluxTrainConfig {
+            crop: 36,
+            epochs: 1,
+            batch_size: 8,
+            lr: 2e-3,
+            pairs_per_sample: 2,
+            augment: true,
+            seed: 5,
+            threads: 2,
+        };
+        let hist = train_flux_cnn(&mut cnn, &ds, &train_refs, &val_refs, &cfg);
+        assert_eq!(hist.len(), 1);
+        assert!(hist[0].train_loss.is_finite() && hist[0].val_loss.is_finite());
+    }
+
+    #[test]
+    fn threaded_joint_training_runs() {
+        let ds = tiny_ds();
+        let train_ex = joint_examples(&[0, 1, 2, 3]);
+        let val_ex = joint_examples(&[4, 5]);
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut jm = JointModel::from_scratch(36, 8, &mut rng);
+        let cfg = ClassifierTrainConfig {
+            epochs: 1,
+            batch_size: 8,
+            lr: 3e-3,
+            seed: 13,
+            threads: 3,
+        };
+        let hist = train_joint(&mut jm, &ds, &train_ex, &val_ex, &cfg);
+        assert_eq!(hist.len(), 1);
+        assert!(hist[0].train_loss.is_finite());
+        assert!((0.0..=1.0).contains(&hist[0].train_acc));
     }
 
     #[test]

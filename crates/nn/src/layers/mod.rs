@@ -17,7 +17,7 @@ mod prelu;
 
 pub use activation::{sigmoid_scalar, Relu, Sigmoid, Tanh};
 pub use batchnorm::{BatchNorm, BatchNorm1d, BatchNorm2d};
-pub use conv::{Conv2d, Padding};
+pub use conv::{Conv2d, ConvBackend, Padding};
 pub use dropout::Dropout;
 pub use flatten::Flatten;
 pub use gru::Gru;

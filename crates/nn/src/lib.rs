@@ -53,11 +53,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod gemm;
 pub mod gradcheck;
 pub mod init;
 pub mod layer;
 pub mod layers;
 pub mod loss;
+pub mod lowering;
 pub mod net;
 pub mod optim;
 pub mod serialize;

@@ -363,18 +363,7 @@ impl Tensor {
             self.shape, other.shape
         );
         let mut out = vec![0.0f32; m * n];
-        for i in 0..m {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            let out_row = &mut out[i * n..(i + 1) * n];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (x, y) in a_row.iter().zip(b_row) {
-                    acc += x * y;
-                }
-                *o = acc;
-            }
-        }
+        crate::gemm::gemm_nt(&self.data, &other.data, &mut out, m, k, n);
         Tensor {
             shape: vec![m, n],
             data: out,
@@ -398,20 +387,7 @@ impl Tensor {
             self.shape, other.shape
         );
         let mut out = vec![0.0f32; m * n];
-        // out[i][j] = sum_p self[p][i] * other[p][j]
-        for p in 0..k {
-            let a_row = &self.data[p * m..(p + 1) * m];
-            let b_row = &other.data[p * n..(p + 1) * n];
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        }
+        crate::gemm::gemm_tn(&self.data, &other.data, &mut out, m, k, n);
         Tensor {
             shape: vec![m, n],
             data: out,
@@ -564,25 +540,13 @@ impl Tensor {
 
 /// `out += a (m×k) * b (k×n)`, all row-major flat slices.
 ///
-/// Uses the i-k-j loop ordering so the inner loop walks both `b` and `out`
-/// contiguously; this is the single hottest routine in the library.
+/// Delegates to the cache-blocked kernel in [`crate::gemm`]; this is the
+/// single hottest routine in the library.
 pub fn matmul_into(a: &[f32], b: &[f32], out: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(out.len(), m * n);
-    for i in 0..m {
-        let a_row = &a[i * k..(i + 1) * k];
-        let out_row = &mut out[i * n..(i + 1) * n];
-        for (p, &av) in a_row.iter().enumerate() {
-            if av == 0.0 {
-                continue;
-            }
-            let b_row = &b[p * n..(p + 1) * n];
-            for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                *o += av * bv;
-            }
-        }
-    }
+    crate::gemm::gemm_nn(a, b, out, m, k, n);
 }
 
 macro_rules! impl_elementwise {

@@ -84,6 +84,7 @@ fn main() {
             batch_size: 64,
             lr: 3e-3,
             seed: 6,
+            threads: 1,
         },
     );
     let scores = classifier_scores(&mut clf, &xe);

@@ -52,6 +52,7 @@ fn main() {
             pairs_per_sample: 2,
             augment: true,
             seed: 3,
+            threads: 1,
         },
     );
     println!("  val MSE: {:.4} (normalised)", h.last().unwrap().val_loss);
@@ -70,6 +71,7 @@ fn main() {
             batch_size: 64,
             lr: 3e-3,
             seed: 4,
+            threads: 1,
         },
     );
 
@@ -102,6 +104,7 @@ fn main() {
             batch_size: 8,
             lr: 2e-4,
             seed: 5,
+            threads: 1,
         },
     );
     println!(

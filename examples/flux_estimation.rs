@@ -56,6 +56,7 @@ fn main() {
             pairs_per_sample: 3,
             augment: true,
             seed: 4,
+            threads: 1,
         },
     );
     for h in &history {

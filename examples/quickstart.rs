@@ -53,6 +53,7 @@ fn main() {
             batch_size: 64,
             lr: 3e-3,
             seed: 1,
+            threads: 1,
         },
     );
     let last = history.last().expect("non-empty history");

@@ -1,14 +1,31 @@
 #!/bin/bash
-# Pre-merge gate: formatting, lints, full test suite.
-# Usage: scripts/check.sh
+# Pre-merge gate: formatting, lints, release build, full test suite.
+# Usage: scripts/check.sh [--quick]
+#   --quick   skip the release build (CI runs it as a separate job)
 set -eu
 cd "$(dirname "$0")/.."
+
+quick=0
+for arg in "$@"; do
+    case "$arg" in
+    --quick) quick=1 ;;
+    *)
+        echo "usage: scripts/check.sh [--quick]" >&2
+        exit 2
+        ;;
+    esac
+done
 
 echo "== cargo fmt --check =="
 cargo fmt --check
 
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace -- -D warnings
+
+if [ "$quick" -eq 0 ]; then
+    echo "== cargo build --release =="
+    cargo build --release --workspace
+fi
 
 echo "== cargo test =="
 cargo test --workspace -q

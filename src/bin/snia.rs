@@ -43,6 +43,7 @@ COMMANDS:
     classify   train the single-epoch classifier and report test AUC
                  --epochs <n>    training epochs       (default 25)
                  --hidden <n>    hidden units          (default 100)
+                 --threads <n>   data-parallel threads (default 1)
                  --samples/--seed as above
     export     write all light curves in SNPCC-like text format
                  --out <path>    output file           (default lightcurves.dat)
@@ -178,6 +179,7 @@ fn cmd_classify(flags: &HashMap<String, String>) -> Result<(), String> {
     let ds = build_dataset(flags)?;
     let epochs = flag_usize(flags, "epochs", 25)?;
     let hidden = flag_usize(flags, "hidden", 100)?;
+    let threads = flag_usize(flags, "threads", 1)?.max(1);
     let seed = flag_u64(flags, "seed", 20170101)?;
     let (tr, va, te) = split_indices(ds.len(), seed);
     let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
@@ -200,6 +202,7 @@ fn cmd_classify(flags: &HashMap<String, String>) -> Result<(), String> {
             batch_size: 64,
             lr: 3e-3,
             seed,
+            threads,
         },
     );
     let last = hist.last().expect("history");

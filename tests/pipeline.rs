@@ -59,6 +59,7 @@ fn feature_classifier_learns_on_tiny_data() {
             batch_size: 64,
             lr: 3e-3,
             seed: 3,
+            threads: 1,
         },
     );
     let scores = classifier_scores(&mut clf, &xe);
@@ -91,6 +92,7 @@ fn multi_epoch_beats_single_epoch() {
                 batch_size: 64,
                 lr: 3e-3,
                 seed: 5,
+                threads: 1,
             },
         );
         aucs.push(auc(&classifier_scores(&mut clf, &xe), &labels));
@@ -125,6 +127,7 @@ fn flux_cnn_trains_and_transfers_into_joint_model() {
             pairs_per_sample: 2,
             augment: true,
             seed: 3,
+            threads: 1,
         },
     );
     assert!(hist.last().unwrap().train_loss < hist[0].train_loss * 1.5);
