@@ -11,10 +11,11 @@ use serde::Serialize;
 use snia_bench::{progress, write_json, Table};
 use snia_core::classifier::LightCurveClassifier;
 use snia_core::eval::{auc, roc_curve};
+use snia_core::resilience::Resilience;
 use snia_core::train::{
-    classifier_scores, feature_matrix, train_classifier, ClassifierTrainConfig,
+    classifier_scores, feature_matrix, train_classifier_resilient, ClassifierTrainConfig,
 };
-use snia_core::ExperimentConfig;
+use snia_core::{resume_from_env_args, ExperimentConfig};
 use snia_dataset::{split_indices, Dataset};
 
 #[derive(Serialize)]
@@ -37,6 +38,10 @@ fn main() {
     let (xv, tv, _) = feature_matrix(&ds, &va, 1);
     let (xe, _, labels) = feature_matrix(&ds, &te, 1);
 
+    // `--resume <dir>` / SNIA_RESUME: each width checkpoints into its own
+    // subdirectory so a killed run restarts from the last finished epoch.
+    let ckpt_root = resume_from_env_args();
+
     let mut table = Table::new(vec!["hidden units", "test AUC"]);
     let mut results = Vec::new();
     for &hidden in &[10usize, 50, 100, 200] {
@@ -49,7 +54,12 @@ fn main() {
             seed: cfg.seed + hidden as u64,
             threads: cfg.threads,
         };
-        train_classifier(&mut clf, (&xt, &tt), (&xv, &tv), &tcfg);
+        let mut res = Resilience::from_env();
+        if let Some(root) = &ckpt_root {
+            res = res.with_checkpoint_dir(root.join(format!("hidden{hidden}")));
+        }
+        train_classifier_resilient(&mut clf, (&xt, &tt), (&xv, &tv), &tcfg, &res)
+            .unwrap_or_else(|e| panic!("fig9 training (hidden {hidden}) failed: {e}"));
         let scores = classifier_scores(&mut clf, &xe);
         let a = auc(&scores, &labels);
         let roc: Vec<(f64, f64)> = roc_curve(&scores, &labels)

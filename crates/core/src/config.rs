@@ -54,8 +54,24 @@ impl ExperimentConfig {
 
     /// Builds a configuration explicitly (used by tests; `from_env` is the
     /// production path).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive or non-finite `scale`; use [`Self::try_build`]
+    /// for a fallible variant.
     pub fn build(full: bool, scale: f64, seed: u64) -> Self {
-        assert!(scale > 0.0 && scale.is_finite(), "invalid scale {scale}");
+        match Self::try_build(full, scale, seed) {
+            Ok(cfg) => cfg,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible counterpart of [`Self::build`]: rejects non-positive or
+    /// non-finite scales with a typed error instead of panicking.
+    pub fn try_build(full: bool, scale: f64, seed: u64) -> Result<Self, ConfigError> {
+        if !(scale > 0.0 && scale.is_finite()) {
+            return Err(ConfigError::InvalidScale(scale));
+        }
         let mut dataset = if full {
             DatasetConfig::paper_scale()
         } else {
@@ -66,18 +82,61 @@ impl ExperimentConfig {
             dataset.n_samples = ((dataset.n_samples as f64 * scale) as usize).max(40);
             dataset.catalog_size = ((dataset.catalog_size as f64 * scale) as usize).max(100);
         }
-        ExperimentConfig {
+        Ok(ExperimentConfig {
             dataset,
             train_scale: if full { 4.0 } else { scale },
             seed,
             threads: 1,
-        }
+        })
     }
 
     /// Scales an epoch/step budget, with a floor of 1.
     pub fn scaled(&self, base: usize) -> usize {
         ((base as f64 * self.train_scale).round() as usize).max(1)
     }
+}
+
+/// Invalid experiment configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ConfigError {
+    /// The scale multiplier must be finite and strictly positive.
+    InvalidScale(f64),
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ConfigError::InvalidScale(s) => write!(f, "invalid scale {s}"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Parses `--resume <dir>` / `--resume=<dir>` from an argument stream;
+/// `None` when absent or malformed.
+pub fn resume_from_args<I: IntoIterator<Item = String>>(args: I) -> Option<std::path::PathBuf> {
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--resume" {
+            return iter.next().filter(|v| !v.is_empty()).map(Into::into);
+        }
+        if let Some(v) = arg.strip_prefix("--resume=") {
+            return (!v.is_empty()).then(|| v.into());
+        }
+    }
+    None
+}
+
+/// Resolves the checkpoint directory from CLI arguments (`--resume <dir>`,
+/// which wins) or the `SNIA_RESUME` environment variable.
+pub fn resume_from_env_args() -> Option<std::path::PathBuf> {
+    resume_from_args(std::env::args().skip(1)).or_else(|| {
+        std::env::var("SNIA_RESUME")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(Into::into)
+    })
 }
 
 /// Parses `--threads N` / `--threads=N` from an argument stream; `None`
@@ -133,6 +192,18 @@ mod tests {
         ExperimentConfig::build(false, 0.0, 1);
     }
 
+    #[test]
+    fn try_build_returns_typed_errors() {
+        assert_eq!(
+            ExperimentConfig::try_build(false, 0.0, 1).unwrap_err(),
+            ConfigError::InvalidScale(0.0)
+        );
+        assert!(ExperimentConfig::try_build(false, f64::NAN, 1).is_err());
+        assert!(ExperimentConfig::try_build(false, f64::INFINITY, 1).is_err());
+        let ok = ExperimentConfig::try_build(false, 1.0, 7).unwrap();
+        assert_eq!(ok, ExperimentConfig::build(false, 1.0, 7));
+    }
+
     fn args(list: &[&str]) -> Vec<String> {
         list.iter().map(|s| s.to_string()).collect()
     }
@@ -149,5 +220,20 @@ mod tests {
         assert_eq!(threads_from_args(args(&["--threads"])), None);
         assert_eq!(threads_from_args(args(&["--threads", "zero"])), None);
         assert_eq!(threads_from_args(args(&["--threads", "0"])), None);
+    }
+
+    #[test]
+    fn resume_flag_forms() {
+        assert_eq!(
+            resume_from_args(args(&["--resume", "ckpt/dir"])),
+            Some(std::path::PathBuf::from("ckpt/dir"))
+        );
+        assert_eq!(
+            resume_from_args(args(&["--threads", "2", "--resume=out"])),
+            Some(std::path::PathBuf::from("out"))
+        );
+        assert_eq!(resume_from_args(args(&[])), None);
+        assert_eq!(resume_from_args(args(&["--resume"])), None);
+        assert_eq!(resume_from_args(args(&["--resume="])), None);
     }
 }

@@ -68,6 +68,16 @@ impl JointModel {
         &self.classifier
     }
 
+    /// Write access to the shared band CNN (checkpoint restore).
+    pub fn cnn_mut(&mut self) -> &mut FluxCnn {
+        &mut self.cnn
+    }
+
+    /// Write access to the classifier head (checkpoint restore).
+    pub fn classifier_mut(&mut self) -> &mut LightCurveClassifier {
+        &mut self.classifier
+    }
+
     /// Forward pass.
     ///
     /// * `images` — `(5N, 1, S, S)`: for sample `n`, rows `5n..5n+5` are its

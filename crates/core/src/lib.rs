@@ -34,12 +34,17 @@ pub mod flux_cnn;
 pub mod input;
 pub mod joint;
 pub mod parallel;
+pub mod resilience;
 pub mod train;
 
 pub use classifier::LightCurveClassifier;
-pub use config::ExperimentConfig;
+pub use config::{resume_from_args, resume_from_env_args, ConfigError, ExperimentConfig};
 pub use eval::{auc, roc_curve, RocPoint};
 pub use flux_cnn::FluxCnn;
 pub use input::{mag_to_target, pair_to_input, target_to_mag};
 pub use joint::JointModel;
 pub use parallel::{BatchExecutor, Replica};
+pub use resilience::{
+    CheckpointDir, CheckpointError, Checkpointable, FaultPlan, Resilience, TrainState,
+};
+pub use train::TrainError;

@@ -58,20 +58,32 @@ impl ShardStats {
     }
 }
 
+/// Worker panics tolerated before the worker is dropped and its load
+/// shifts back to the remaining shards.
+const MAX_WORKER_STRIKES: u32 = 2;
+
 /// Shards minibatches across worker replicas of a model.
 ///
 /// Holds `threads - 1` worker replicas; shard 0 always runs on the master
 /// model in the calling thread, so `threads == 1` adds no replicas, no
 /// synchronisation and no thread spawns.
+///
+/// Worker panics are isolated: a panicking shard is re-run on the master
+/// (gradient accumulation is additive, so the combined gradient is
+/// unchanged) and the worker accumulates a strike; after
+/// [`MAX_WORKER_STRIKES`] it is dropped and the executor degrades toward
+/// the sequential path. Only a panic on the *master* shard propagates.
 pub struct BatchExecutor<M> {
     workers: Vec<M>,
+    strikes: Vec<u32>,
 }
 
 impl<M: Replica> BatchExecutor<M> {
     /// Builds an executor with `threads.max(1)` total shards.
     pub fn new(master: &M, threads: usize) -> Self {
-        let workers = (1..threads.max(1)).map(|_| master.replicate()).collect();
-        BatchExecutor { workers }
+        let workers: Vec<M> = (1..threads.max(1)).map(|_| master.replicate()).collect();
+        let strikes = vec![0; workers.len()];
+        BatchExecutor { workers, strikes }
     }
 
     /// Total shard count (workers + the master).
@@ -93,7 +105,10 @@ impl<M: Replica> BatchExecutor<M> {
     ///
     /// # Panics
     ///
-    /// Panics if `total == 0` or a worker thread panics.
+    /// Panics if `total == 0` or the closure panics on the *master* shard
+    /// (worker-shard panics are caught and the shard re-runs on the
+    /// master — which is also where a deterministic poison-pill batch
+    /// eventually surfaces).
     pub fn step<F>(&mut self, master: &mut M, total: usize, run: F) -> ShardStats
     where
         F: Fn(&mut M, Range<usize>, f32) -> ShardStats + Sync,
@@ -120,7 +135,7 @@ impl<M: Replica> BatchExecutor<M> {
 
         let ranges = shard_ranges(total, self.threads());
         let master_range = ranges[0].clone();
-        let mut stats = std::thread::scope(|scope| {
+        let (mut stats, failed) = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .workers
                 .iter_mut()
@@ -130,10 +145,13 @@ impl<M: Replica> BatchExecutor<M> {
                     let run = &run;
                     scope.spawn(move || {
                         if range.is_empty() {
-                            ShardStats::default()
+                            Ok(ShardStats::default())
                         } else {
                             let scale = range.len() as f32 / total as f32;
-                            run(worker, range, scale)
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                run(worker, range.clone(), scale)
+                            }))
+                            .map_err(|_| range)
                         }
                     })
                 })
@@ -141,21 +159,60 @@ impl<M: Replica> BatchExecutor<M> {
             let scale = master_range.len() as f32 / total as f32;
             let master_stats = run(master, master_range, scale);
             let mut all = vec![master_stats];
-            all.extend(
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("worker shard panicked")),
-            );
-            all
+            let mut failed: Vec<(usize, Range<usize>)> = Vec::new();
+            for (wi, h) in handles.into_iter().enumerate() {
+                match h.join().expect("worker thread could not be joined") {
+                    Ok(s) => all.push(s),
+                    Err(range) => failed.push((wi, range)),
+                }
+            }
+            (all, failed)
         });
+
+        // A panicked worker may hold a partial gradient; discard it and
+        // re-run the whole failed shard on the master (accumulation is
+        // additive, so the combined gradient is exactly what the worker
+        // would have contributed). Worker order keeps this deterministic.
+        let mut worker_failed = vec![false; self.workers.len()];
+        if !failed.is_empty() {
+            snia_telemetry::counter_add("resilience.worker_panics_total", failed.len() as u64);
+            for (wi, range) in &failed {
+                worker_failed[*wi] = true;
+                self.strikes[*wi] += 1;
+                let scale = range.len() as f32 / total as f32;
+                stats.push(run(master, range.clone(), scale));
+            }
+        }
 
         {
             let _t = snia_telemetry::timer("parallelism.grad_accum_ns");
-            for worker in &self.workers {
+            for (wi, worker) in self.workers.iter().enumerate() {
+                if worker_failed[wi] {
+                    continue;
+                }
                 let src = worker.params();
                 for (dst, src) in master.params_mut().into_iter().zip(src) {
                     dst.grad.add_scaled(&src.grad, 1.0);
                 }
+            }
+        }
+
+        if !failed.is_empty() {
+            // Strike out repeat offenders: the executor sheds the broken
+            // replicas and degrades toward the sequential path.
+            let mut dropped = 0u64;
+            let mut i = 0;
+            while i < self.workers.len() {
+                if self.strikes[i] >= MAX_WORKER_STRIKES {
+                    self.workers.remove(i);
+                    self.strikes.remove(i);
+                    dropped += 1;
+                } else {
+                    i += 1;
+                }
+            }
+            if dropped > 0 {
+                snia_telemetry::counter_add("resilience.workers_dropped_total", dropped);
             }
         }
         if telemetry {
@@ -334,5 +391,59 @@ mod tests {
         let mut m = Toy::new();
         let mut exec = BatchExecutor::new(&m, 2);
         exec.step(&mut m, 0, |_, _, _| ShardStats::default());
+    }
+
+    #[test]
+    fn worker_panic_is_isolated_and_gradient_exact() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        // Integer data (see sharded_gradients_match_sequential): all shard
+        // means and scales are exact in f32, so the recovered gradient must
+        // match the sequential one bit-for-bit.
+        let xs: Vec<f32> = (0..16).map(|i| (i % 8) as f32 - 4.0).collect();
+        let mut seq = Toy::new();
+        BatchExecutor::new(&seq, 1).step(&mut seq, xs.len(), shard_run(&xs));
+        let want = seq.w.grad.data()[0];
+
+        let bomb = AtomicBool::new(true);
+        let mut m = Toy::new();
+        let mut exec = BatchExecutor::new(&m, 4);
+        let stats = exec.step(&mut m, xs.len(), |model, range, scale| {
+            if range.start != 0
+                && bomb
+                    .compare_exchange(true, false, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+            {
+                panic!("injected worker panic");
+            }
+            shard_run(&xs)(model, range, scale)
+        });
+        assert_eq!(stats.samples, xs.len());
+        assert_eq!(m.w.grad.data()[0], want);
+        assert_eq!(exec.threads(), 4, "one strike must not drop the worker");
+    }
+
+    #[test]
+    fn repeat_offender_worker_is_dropped() {
+        // A worker whose *thread* is broken (panics whenever work runs off
+        // the master thread) strikes out; its shard re-runs on the master
+        // both times, and the executor then degrades to sequential.
+        let xs = [1.0f32, 2.0, 3.0, 6.0];
+        let main_thread = std::thread::current().id();
+        let mut m = Toy::new();
+        let mut exec = BatchExecutor::new(&m, 2);
+        for round in 0..MAX_WORKER_STRIKES {
+            let stats = exec.step(&mut m, xs.len(), |model, range, scale| {
+                if std::thread::current().id() != main_thread {
+                    panic!("broken worker thread");
+                }
+                shard_run(&xs)(model, range, scale)
+            });
+            assert_eq!(stats.samples, xs.len(), "round {round}");
+            assert_eq!(m.w.grad.data()[0], 3.0, "round {round}");
+        }
+        assert_eq!(exec.threads(), 1, "worker must be dropped after strikes");
+        let stats = exec.step(&mut m, xs.len(), shard_run(&xs));
+        assert_eq!(stats.samples, xs.len());
+        assert_eq!(m.w.grad.data()[0], 3.0);
     }
 }

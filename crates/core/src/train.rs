@@ -14,13 +14,14 @@ use serde::{Deserialize, Serialize};
 use snia_dataset::{epoch_features, Dataset, SampleSpec, EPOCHS_PER_BAND};
 use snia_nn::loss::{bce_with_logits, mse_loss, sigmoid_probs};
 use snia_nn::optim::{Adam, Optimizer};
-use snia_nn::{Mode, Tensor};
+use snia_nn::{Mode, Param, Tensor};
 
 use crate::classifier::LightCurveClassifier;
 use crate::flux_cnn::FluxCnn;
 use crate::input::{batch_pairs, mag_to_target, target_to_mag};
 use crate::joint::JointModel;
 use crate::parallel::{BatchExecutor, ShardStats};
+use crate::resilience::{CheckpointError, Divergence, Guardian, Resilience};
 
 /// One epoch of a training history.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,6 +36,75 @@ pub struct TrainRecord {
     pub train_acc: f64,
     /// Validation accuracy (classification runs; `NaN` for regression).
     pub val_acc: f64,
+}
+
+/// Errors from the resilient training entry points.
+#[derive(Debug)]
+pub enum TrainError {
+    /// A train or validation split was empty.
+    EmptySplit {
+        /// Which inputs were empty.
+        what: &'static str,
+    },
+    /// Saving, loading or applying a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// The run diverged and the rollback retry budget is exhausted.
+    Diverged {
+        /// Which model was training.
+        model: &'static str,
+        /// Epoch during which the final divergence happened.
+        epoch: usize,
+        /// What the watchdog detected.
+        reason: Divergence,
+    },
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::EmptySplit { what } => write!(f, "empty split: no {what}"),
+            TrainError::Checkpoint(e) => write!(f, "{e}"),
+            TrainError::Diverged {
+                model,
+                epoch,
+                reason,
+            } => write!(
+                f,
+                "{model} training diverged at epoch {epoch} with retries exhausted: {reason}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+/// L2 norm of every accumulated parameter gradient (NaN/Inf propagate, so
+/// the watchdog sees non-finite gradients as a non-finite norm).
+fn grad_norm(params: &[&Param]) -> f64 {
+    params
+        .iter()
+        .map(|p| {
+            p.grad
+                .data()
+                .iter()
+                .map(|&g| f64::from(g) * f64::from(g))
+                .sum::<f64>()
+        })
+        .sum::<f64>()
+        .sqrt()
 }
 
 // ---------------------------------------------------------------------------
@@ -146,19 +216,56 @@ pub fn train_flux_cnn(
     val_refs: &[(usize, usize)],
     cfg: &FluxTrainConfig,
 ) -> Vec<TrainRecord> {
-    assert!(
-        !train_refs.is_empty() && !val_refs.is_empty(),
-        "empty split"
-    );
+    match train_flux_cnn_resilient(cnn, ds, train_refs, val_refs, cfg, &Resilience::disabled()) {
+        Ok(history) => history,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`train_flux_cnn`] under a [`Resilience`] policy: checkpoint/resume,
+/// divergence rollback and fault injection. With
+/// [`Resilience::disabled`] the behaviour (and the RNG stream) is
+/// bit-identical to the plain loop.
+///
+/// # Errors
+///
+/// Returns [`TrainError::EmptySplit`] on empty inputs,
+/// [`TrainError::Checkpoint`] on checkpoint I/O or decode failures, and
+/// [`TrainError::Diverged`] when the watchdog's retry budget runs out.
+pub fn train_flux_cnn_resilient(
+    cnn: &mut FluxCnn,
+    ds: &Dataset,
+    train_refs: &[(usize, usize)],
+    val_refs: &[(usize, usize)],
+    cfg: &FluxTrainConfig,
+    res: &Resilience,
+) -> Result<Vec<TrainRecord>, TrainError> {
+    if train_refs.is_empty() || val_refs.is_empty() {
+        return Err(TrainError::EmptySplit { what: "flux pairs" });
+    }
+    if cfg.epochs == 0 {
+        return Ok(Vec::new());
+    }
     let _fit = snia_telemetry::span!("fit", model = "flux_cnn", epochs = cfg.epochs);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
     let mut exec = BatchExecutor::new(&*cnn, cfg.threads);
     let mut order: Vec<usize> = (0..train_refs.len()).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
-    for epoch in 0..cfg.epochs {
+    let mut guard = Guardian::new(res);
+    let start = guard.begin(cnn, &mut opt, &mut rng, &mut history)?;
+    let mut epoch = start.epoch;
+    let mut step = start.step;
+    'epochs: while epoch < cfg.epochs {
+        guard.maybe_kill(epoch);
         let _epoch_span = snia_telemetry::span!("epoch", epoch = epoch);
         let epoch_start = std::time::Instant::now();
+        // Reset to identity before shuffling: the epoch's permutation must
+        // be a pure function of the RNG stream position (which checkpoints
+        // capture) — a cumulative in-place shuffle would not survive resume.
+        for (i, o) in order.iter_mut().enumerate() {
+            *o = i;
+        }
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0f64;
         let mut batches = 0usize;
@@ -172,7 +279,11 @@ pub fn train_flux_cnn(
             } else {
                 Vec::new()
             };
+            let faults = &res.faults;
             let stats = exec.step(cnn, refs.len(), |model, range, scale| {
+                if range.start != 0 && faults.fire_panic_worker(epoch) {
+                    panic!("SNIA_FAULT: injected worker panic");
+                }
                 let shard = &refs[range.clone()];
                 let (mut x, t) = render_flux_batch(ds, shard, cfg.crop);
                 if cfg.augment {
@@ -196,6 +307,27 @@ pub fn train_flux_cnn(
                 model.backward(&grad);
                 ShardStats::regression(f64::from(loss), shard.len())
             });
+            step += 1;
+            let mut diverged = guard.check_loss(step, stats.loss).err();
+            if diverged.is_none() && guard.watchdog_active() {
+                diverged = guard.check_grad_norm(step, grad_norm(&cnn.params())).err();
+            }
+            if let Some(reason) = diverged {
+                match guard.rollback(cnn, &mut opt, &mut rng, &mut history)? {
+                    Some(point) => {
+                        epoch = point.epoch;
+                        step = point.step;
+                        continue 'epochs;
+                    }
+                    None => {
+                        return Err(TrainError::Diverged {
+                            model: "flux_cnn",
+                            epoch,
+                            reason,
+                        })
+                    }
+                }
+            }
             opt.step(&mut cnn.params_mut());
             loss_sum += stats.loss;
             batches += 1;
@@ -211,8 +343,10 @@ pub fn train_flux_cnn(
         };
         snia_telemetry::record("train_epoch", &rec);
         history.push(rec);
+        guard.epoch_end(cnn, &opt, &rng, epoch, step, &history)?;
+        epoch += 1;
     }
-    history
+    Ok(history)
 }
 
 /// Per-epoch throughput bookkeeping shared by the three training loops:
@@ -365,12 +499,39 @@ pub fn train_classifier(
     val: (&Tensor, &Tensor),
     cfg: &ClassifierTrainConfig,
 ) -> Vec<TrainRecord> {
+    match train_classifier_resilient(clf, train, val, cfg, &Resilience::disabled()) {
+        Ok(history) => history,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`train_classifier`] under a [`Resilience`] policy: checkpoint/resume,
+/// divergence rollback and fault injection. With
+/// [`Resilience::disabled`] the behaviour (and the RNG stream) is
+/// bit-identical to the plain loop.
+///
+/// # Errors
+///
+/// Returns [`TrainError::EmptySplit`] on empty inputs,
+/// [`TrainError::Checkpoint`] on checkpoint I/O or decode failures, and
+/// [`TrainError::Diverged`] when the watchdog's retry budget runs out.
+pub fn train_classifier_resilient(
+    clf: &mut LightCurveClassifier,
+    train: (&Tensor, &Tensor),
+    val: (&Tensor, &Tensor),
+    cfg: &ClassifierTrainConfig,
+    res: &Resilience,
+) -> Result<Vec<TrainRecord>, TrainError> {
     let (x_train, t_train) = train;
     let (x_val, t_val) = val;
-    assert!(
-        x_train.shape()[0] > 0 && x_val.shape()[0] > 0,
-        "empty split"
-    );
+    if x_train.shape()[0] == 0 || x_val.shape()[0] == 0 {
+        return Err(TrainError::EmptySplit {
+            what: "classifier examples",
+        });
+    }
+    if cfg.epochs == 0 {
+        return Ok(Vec::new());
+    }
     let _fit = snia_telemetry::span!("fit", model = "classifier", epochs = cfg.epochs);
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let mut opt = Adam::new(cfg.lr);
@@ -378,15 +539,30 @@ pub fn train_classifier(
     let n = x_train.shape()[0];
     let mut order: Vec<usize> = (0..n).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
-    for epoch in 0..cfg.epochs {
+    let mut guard = Guardian::new(res);
+    let start = guard.begin(clf, &mut opt, &mut rng, &mut history)?;
+    let mut epoch = start.epoch;
+    let mut step = start.step;
+    'epochs: while epoch < cfg.epochs {
+        guard.maybe_kill(epoch);
         let _epoch_span = snia_telemetry::span!("epoch", epoch = epoch);
         let epoch_start = std::time::Instant::now();
+        // Reset to identity before shuffling: the epoch's permutation must
+        // be a pure function of the RNG stream position (which checkpoints
+        // capture) — a cumulative in-place shuffle would not survive resume.
+        for (i, o) in order.iter_mut().enumerate() {
+            *o = i;
+        }
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0;
         let mut batches = 0;
         for chunk in order.chunks(cfg.batch_size) {
             let _batch_span = snia_telemetry::span!("batch", batch = batches, size = chunk.len());
+            let faults = &res.faults;
             let stats = exec.step(clf, chunk.len(), |model, range, scale| {
+                if range.start != 0 && faults.fire_panic_worker(epoch) {
+                    panic!("SNIA_FAULT: injected worker panic");
+                }
                 let idx = &chunk[range];
                 let xb = rows_of(x_train, idx);
                 let tb = rows_of(t_train, idx);
@@ -401,6 +577,27 @@ pub fn train_classifier(
                 model.backward(&grad);
                 ShardStats::regression(f64::from(loss), idx.len())
             });
+            step += 1;
+            let mut diverged = guard.check_loss(step, stats.loss).err();
+            if diverged.is_none() && guard.watchdog_active() {
+                diverged = guard.check_grad_norm(step, grad_norm(&clf.params())).err();
+            }
+            if let Some(reason) = diverged {
+                match guard.rollback(clf, &mut opt, &mut rng, &mut history)? {
+                    Some(point) => {
+                        epoch = point.epoch;
+                        step = point.step;
+                        continue 'epochs;
+                    }
+                    None => {
+                        return Err(TrainError::Diverged {
+                            model: "classifier",
+                            epoch,
+                            reason,
+                        })
+                    }
+                }
+            }
             opt.step(&mut clf.params_mut());
             loss_sum += stats.loss;
             batches += 1;
@@ -417,8 +614,10 @@ pub fn train_classifier(
         };
         snia_telemetry::record("train_epoch", &rec);
         history.push(rec);
+        guard.epoch_end(clf, &opt, &rng, epoch, step, &history)?;
+        epoch += 1;
     }
-    history
+    Ok(history)
 }
 
 /// BCE loss and 0.5-threshold accuracy of the classifier on a feature set.
@@ -522,7 +721,38 @@ pub fn train_joint(
     val_ex: &[JointExample],
     cfg: &ClassifierTrainConfig,
 ) -> Vec<TrainRecord> {
-    assert!(!train_ex.is_empty() && !val_ex.is_empty(), "empty split");
+    match train_joint_resilient(jm, ds, train_ex, val_ex, cfg, &Resilience::disabled()) {
+        Ok(history) => history,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`train_joint`] under a [`Resilience`] policy: checkpoint/resume,
+/// divergence rollback and fault injection. With
+/// [`Resilience::disabled`] the behaviour (and the RNG stream) is
+/// bit-identical to the plain loop.
+///
+/// # Errors
+///
+/// Returns [`TrainError::EmptySplit`] on empty inputs,
+/// [`TrainError::Checkpoint`] on checkpoint I/O or decode failures, and
+/// [`TrainError::Diverged`] when the watchdog's retry budget runs out.
+pub fn train_joint_resilient(
+    jm: &mut JointModel,
+    ds: &Dataset,
+    train_ex: &[JointExample],
+    val_ex: &[JointExample],
+    cfg: &ClassifierTrainConfig,
+    res: &Resilience,
+) -> Result<Vec<TrainRecord>, TrainError> {
+    if train_ex.is_empty() || val_ex.is_empty() {
+        return Err(TrainError::EmptySplit {
+            what: "joint examples",
+        });
+    }
+    if cfg.epochs == 0 {
+        return Ok(Vec::new());
+    }
     let _fit = snia_telemetry::span!("fit", model = "joint", epochs = cfg.epochs);
     let crop = jm.crop();
     let mut rng = StdRng::seed_from_u64(cfg.seed);
@@ -530,9 +760,20 @@ pub fn train_joint(
     let mut exec = BatchExecutor::new(&*jm, cfg.threads);
     let mut order: Vec<usize> = (0..train_ex.len()).collect();
     let mut history = Vec::with_capacity(cfg.epochs);
-    for epoch in 0..cfg.epochs {
+    let mut guard = Guardian::new(res);
+    let start = guard.begin(jm, &mut opt, &mut rng, &mut history)?;
+    let mut epoch = start.epoch;
+    let mut step = start.step;
+    'epochs: while epoch < cfg.epochs {
+        guard.maybe_kill(epoch);
         let _epoch_span = snia_telemetry::span!("epoch", epoch = epoch);
         let epoch_start = std::time::Instant::now();
+        // Reset to identity before shuffling: the epoch's permutation must
+        // be a pure function of the RNG stream position (which checkpoints
+        // capture) — a cumulative in-place shuffle would not survive resume.
+        for (i, o) in order.iter_mut().enumerate() {
+            *o = i;
+        }
         order.shuffle(&mut rng);
         let mut loss_sum = 0.0;
         let mut acc_sum = 0.0;
@@ -540,7 +781,11 @@ pub fn train_joint(
         for chunk in order.chunks(cfg.batch_size) {
             let _batch_span = snia_telemetry::span!("batch", batch = batches, size = chunk.len());
             let exs: Vec<JointExample> = chunk.iter().map(|&i| train_ex[i]).collect();
+            let faults = &res.faults;
             let stats = exec.step(jm, exs.len(), |model, range, scale| {
+                if range.start != 0 && faults.fire_panic_worker(epoch) {
+                    panic!("SNIA_FAULT: injected worker panic");
+                }
                 let shard = &exs[range];
                 let (images, dates, targets, _) = joint_batch(ds, shard, crop);
                 let y = {
@@ -565,6 +810,27 @@ pub fn train_joint(
                     samples: shard.len(),
                 }
             });
+            step += 1;
+            let mut diverged = guard.check_loss(step, stats.loss).err();
+            if diverged.is_none() && guard.watchdog_active() {
+                diverged = guard.check_grad_norm(step, grad_norm(&jm.params())).err();
+            }
+            if let Some(reason) = diverged {
+                match guard.rollback(jm, &mut opt, &mut rng, &mut history)? {
+                    Some(point) => {
+                        epoch = point.epoch;
+                        step = point.step;
+                        continue 'epochs;
+                    }
+                    None => {
+                        return Err(TrainError::Diverged {
+                            model: "joint",
+                            epoch,
+                            reason,
+                        })
+                    }
+                }
+            }
             opt.step(&mut jm.params_mut());
             loss_sum += stats.loss;
             acc_sum += stats.correct as f64 / stats.samples as f64;
@@ -581,8 +847,10 @@ pub fn train_joint(
         };
         snia_telemetry::record("train_epoch", &rec);
         history.push(rec);
+        guard.epoch_end(jm, &opt, &rng, epoch, step, &history)?;
+        epoch += 1;
     }
-    history
+    Ok(history)
 }
 
 /// BCE loss and accuracy of the joint model over examples.

@@ -61,6 +61,52 @@ impl Param {
     }
 }
 
+/// A non-learnable layer buffer failed to restore.
+///
+/// Produced by [`Layer::load_extra_state`] and
+/// [`crate::Sequential::load_extra_states`] when a checkpoint's extra
+/// state does not fit the target network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// The checkpoint carries extra state for a different layer count.
+    LayerCount {
+        /// Layers in the target network.
+        expected: usize,
+        /// Extra-state entries in the checkpoint.
+        found: usize,
+    },
+    /// One layer's extra state has the wrong length.
+    LengthMismatch {
+        /// Position of the offending layer (0 when standalone).
+        layer: usize,
+        /// Scalars the layer expects.
+        expected: usize,
+        /// Scalars the checkpoint provided.
+        found: usize,
+    },
+}
+
+impl std::fmt::Display for StateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StateError::LayerCount { expected, found } => write!(
+                f,
+                "checkpoint has extra state for {found} layers but the network has {expected}"
+            ),
+            StateError::LengthMismatch {
+                layer,
+                expected,
+                found,
+            } => write!(
+                f,
+                "layer {layer} expects {expected} extra-state scalars, checkpoint has {found}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
+
 /// A differentiable network building block.
 ///
 /// The contract is the classic layer-wise backprop protocol:
@@ -102,6 +148,33 @@ pub trait Layer: std::fmt::Debug + Send {
 
     /// A short human-readable layer name (e.g. `"Conv2d"`).
     fn name(&self) -> &'static str;
+
+    /// Non-learnable buffers that must survive a checkpoint round trip
+    /// (e.g. batch-norm running statistics), flattened to scalars.
+    ///
+    /// The default is empty: most layers are fully described by their
+    /// [`Param`]s.
+    fn extra_state(&self) -> Vec<f32> {
+        Vec::new()
+    }
+
+    /// Restores buffers captured by [`Layer::extra_state`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StateError::LengthMismatch`] when `state` has the wrong
+    /// length for this layer.
+    fn load_extra_state(&mut self, state: &[f32]) -> Result<(), StateError> {
+        if state.is_empty() {
+            Ok(())
+        } else {
+            Err(StateError::LengthMismatch {
+                layer: 0,
+                expected: 0,
+                found: state.len(),
+            })
+        }
+    }
 }
 
 #[cfg(test)]

@@ -229,6 +229,28 @@ impl Layer for BatchNorm {
     fn name(&self) -> &'static str {
         "BatchNorm"
     }
+
+    /// Running mean then running variance, concatenated — the buffers an
+    /// exact checkpoint resume must carry alongside γ and β.
+    fn extra_state(&self) -> Vec<f32> {
+        let mut s = Vec::with_capacity(2 * self.channels);
+        s.extend_from_slice(&self.running_mean);
+        s.extend_from_slice(&self.running_var);
+        s
+    }
+
+    fn load_extra_state(&mut self, state: &[f32]) -> Result<(), crate::layer::StateError> {
+        if state.len() != 2 * self.channels {
+            return Err(crate::layer::StateError::LengthMismatch {
+                layer: 0,
+                expected: 2 * self.channels,
+                found: state.len(),
+            });
+        }
+        self.running_mean.copy_from_slice(&state[..self.channels]);
+        self.running_var.copy_from_slice(&state[self.channels..]);
+        Ok(())
+    }
 }
 
 #[cfg(test)]

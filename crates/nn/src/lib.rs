@@ -65,6 +65,6 @@ pub mod optim;
 pub mod serialize;
 pub mod tensor;
 
-pub use layer::{Layer, Mode, Param};
+pub use layer::{Layer, Mode, Param, StateError};
 pub use net::Sequential;
 pub use tensor::Tensor;

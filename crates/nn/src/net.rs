@@ -1,6 +1,6 @@
 //! The [`Sequential`] network container.
 
-use crate::layer::{Layer, Mode, Param};
+use crate::layer::{Layer, Mode, Param, StateError};
 use crate::tensor::Tensor;
 
 /// A network that chains layers, feeding each layer's output to the next.
@@ -98,6 +98,41 @@ impl Sequential {
     /// Total number of scalar parameters.
     pub fn num_parameters(&self) -> usize {
         self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Per-layer non-learnable buffers (see [`Layer::extra_state`]), in
+    /// layer order; one (possibly empty) entry per layer.
+    pub fn extra_states(&self) -> Vec<Vec<f32>> {
+        self.layers.iter().map(|l| l.extra_state()).collect()
+    }
+
+    /// Restores buffers captured by [`Sequential::extra_states`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`StateError`] when the entry count differs from the
+    /// layer count or any layer rejects its slice; already-restored layers
+    /// keep the loaded values in that case.
+    pub fn load_extra_states(&mut self, states: &[Vec<f32>]) -> Result<(), StateError> {
+        if states.len() != self.layers.len() {
+            return Err(StateError::LayerCount {
+                expected: self.layers.len(),
+                found: states.len(),
+            });
+        }
+        for (i, (layer, state)) in self.layers.iter_mut().zip(states).enumerate() {
+            layer.load_extra_state(state).map_err(|e| match e {
+                StateError::LengthMismatch {
+                    expected, found, ..
+                } => StateError::LengthMismatch {
+                    layer: i,
+                    expected,
+                    found,
+                },
+                other => other,
+            })?;
+        }
+        Ok(())
     }
 
     /// A short multi-line structural summary (one line per layer).

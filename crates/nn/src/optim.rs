@@ -1,6 +1,49 @@
 //! Optimizers and learning-rate schedules.
 
+use serde::{Deserialize, Serialize};
+
 use crate::layer::Param;
+
+/// An invalid optimizer hyper-parameter.
+///
+/// Returned by the `try_*` constructors so bad CLI input can be reported
+/// instead of aborting the process; the legacy `new` constructors panic
+/// with the same message.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum OptimError {
+    /// Learning rate not positive and finite.
+    InvalidLearningRate(f32),
+    /// Momentum coefficient outside `[0, 1)`.
+    InvalidMomentum(f32),
+    /// A beta coefficient outside `[0, 1)`.
+    InvalidBeta(f32),
+    /// Weight decay outside `[0, 1)`.
+    InvalidWeightDecay(f32),
+    /// A non-positive schedule parameter (gamma or step interval).
+    InvalidSchedule,
+}
+
+impl std::fmt::Display for OptimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OptimError::InvalidLearningRate(lr) => write!(f, "invalid learning rate {lr}"),
+            OptimError::InvalidMomentum(mu) => write!(f, "invalid momentum {mu}"),
+            OptimError::InvalidBeta(b) => write!(f, "invalid beta {b}"),
+            OptimError::InvalidWeightDecay(wd) => write!(f, "invalid weight decay {wd}"),
+            OptimError::InvalidSchedule => write!(f, "invalid schedule parameters"),
+        }
+    }
+}
+
+impl std::error::Error for OptimError {}
+
+fn check_lr(lr: f32) -> Result<f32, OptimError> {
+    if lr > 0.0 && lr.is_finite() {
+        Ok(lr)
+    } else {
+        Err(OptimError::InvalidLearningRate(lr))
+    }
+}
 
 /// An optimisation algorithm that updates parameters from their accumulated
 /// gradients.
@@ -32,10 +75,20 @@ impl Sgd {
     ///
     /// # Panics
     ///
-    /// Panics if `lr` is not positive and finite.
+    /// Panics if `lr` is not positive and finite; [`Sgd::try_new`] reports
+    /// the same condition as an error.
     pub fn new(lr: f32) -> Self {
-        assert!(lr > 0.0 && lr.is_finite(), "invalid learning rate {lr}");
-        Sgd { lr }
+        Self::try_new(lr).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidLearningRate`] unless `lr` is positive
+    /// and finite.
+    pub fn try_new(lr: f32) -> Result<Self, OptimError> {
+        Ok(Sgd { lr: check_lr(lr)? })
     }
 }
 
@@ -69,15 +122,27 @@ impl Momentum {
     ///
     /// # Panics
     ///
-    /// Panics on non-positive `lr` or `mu` outside `[0, 1)`.
+    /// Panics on non-positive `lr` or `mu` outside `[0, 1)`;
+    /// [`Momentum::try_new`] reports the same conditions as errors.
     pub fn new(lr: f32, mu: f32) -> Self {
-        assert!(lr > 0.0 && lr.is_finite(), "invalid learning rate {lr}");
-        assert!((0.0..1.0).contains(&mu), "invalid momentum {mu}");
-        Momentum {
+        Self::try_new(lr, mu).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OptimError`] on a bad learning rate or momentum.
+    pub fn try_new(lr: f32, mu: f32) -> Result<Self, OptimError> {
+        let lr = check_lr(lr)?;
+        if !(0.0..1.0).contains(&mu) {
+            return Err(OptimError::InvalidMomentum(mu));
+        }
+        Ok(Momentum {
             lr,
             mu,
             velocity: Vec::new(),
-        }
+        })
     }
 }
 
@@ -120,26 +185,72 @@ pub struct Adam {
     v: Vec<Vec<f32>>,
 }
 
+/// The full internal state of an [`Adam`] optimizer — hyper-parameters,
+/// step counter and both moment estimates — in a serialisable form, so a
+/// training checkpoint can resume mid-run with bit-identical updates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdamState {
+    /// Learning rate.
+    pub lr: f32,
+    /// First-moment decay.
+    pub beta1: f32,
+    /// Second-moment decay.
+    pub beta2: f32,
+    /// Denominator fuzz.
+    pub eps: f32,
+    /// Steps taken (drives bias correction).
+    pub t: u64,
+    /// First-moment estimates, one vector per parameter.
+    pub m: Vec<Vec<f32>>,
+    /// Second-moment estimates, one vector per parameter.
+    pub v: Vec<Vec<f32>>,
+}
+
 impl Adam {
     /// Creates Adam with the canonical defaults `β₁ = 0.9`, `β₂ = 0.999`,
     /// `ε = 1e-8`.
     ///
     /// # Panics
     ///
-    /// Panics on a non-positive learning rate.
+    /// Panics on a non-positive learning rate; [`Adam::try_new`] reports
+    /// the same condition as an error.
     pub fn new(lr: f32) -> Self {
         Self::with_betas(lr, 0.9, 0.999)
+    }
+
+    /// Fallible constructor with the canonical defaults.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OptimError::InvalidLearningRate`] unless `lr` is positive
+    /// and finite.
+    pub fn try_new(lr: f32) -> Result<Self, OptimError> {
+        Self::try_with_betas(lr, 0.9, 0.999)
     }
 
     /// Creates Adam with explicit beta coefficients.
     ///
     /// # Panics
     ///
-    /// Panics on invalid hyper-parameters.
+    /// Panics on invalid hyper-parameters; [`Adam::try_with_betas`]
+    /// reports the same conditions as errors.
     pub fn with_betas(lr: f32, beta1: f32, beta2: f32) -> Self {
-        assert!(lr > 0.0 && lr.is_finite(), "invalid learning rate {lr}");
-        assert!((0.0..1.0).contains(&beta1) && (0.0..1.0).contains(&beta2));
-        Adam {
+        Self::try_with_betas(lr, beta1, beta2).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor with explicit beta coefficients.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OptimError`] on a bad learning rate or beta.
+    pub fn try_with_betas(lr: f32, beta1: f32, beta2: f32) -> Result<Self, OptimError> {
+        let lr = check_lr(lr)?;
+        for beta in [beta1, beta2] {
+            if !(0.0..1.0).contains(&beta) {
+                return Err(OptimError::InvalidBeta(beta));
+            }
+        }
+        Ok(Adam {
             lr,
             beta1,
             beta2,
@@ -147,7 +258,44 @@ impl Adam {
             t: 0,
             m: Vec::new(),
             v: Vec::new(),
+        })
+    }
+
+    /// Captures the complete optimizer state for checkpointing.
+    pub fn state(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            beta1: self.beta1,
+            beta2: self.beta2,
+            eps: self.eps,
+            t: self.t,
+            m: self.m.clone(),
+            v: self.v.clone(),
         }
+    }
+
+    /// Restores state captured by [`Adam::state`]; the next `step` behaves
+    /// exactly as if the original optimizer had continued.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OptimError`] when the stored hyper-parameters are
+    /// invalid (a corrupted or hand-edited checkpoint).
+    pub fn load_state(&mut self, s: &AdamState) -> Result<(), OptimError> {
+        let lr = check_lr(s.lr)?;
+        for beta in [s.beta1, s.beta2] {
+            if !(0.0..1.0).contains(&beta) {
+                return Err(OptimError::InvalidBeta(beta));
+            }
+        }
+        self.lr = lr;
+        self.beta1 = s.beta1;
+        self.beta2 = s.beta2;
+        self.eps = s.eps;
+        self.t = s.t;
+        self.m = s.m.clone();
+        self.v = s.v.clone();
+        Ok(())
     }
 }
 
@@ -207,16 +355,25 @@ impl AdamW {
     ///
     /// # Panics
     ///
-    /// Panics on invalid hyper-parameters.
+    /// Panics on invalid hyper-parameters; [`AdamW::try_new`] reports the
+    /// same conditions as errors.
     pub fn new(lr: f32, weight_decay: f32) -> Self {
-        assert!(
-            (0.0..1.0).contains(&weight_decay),
-            "invalid weight decay {weight_decay}"
-        );
-        AdamW {
-            inner: Adam::new(lr),
-            weight_decay,
+        Self::try_new(lr, weight_decay).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OptimError`] on a bad learning rate or weight decay.
+    pub fn try_new(lr: f32, weight_decay: f32) -> Result<Self, OptimError> {
+        if !(0.0..1.0).contains(&weight_decay) {
+            return Err(OptimError::InvalidWeightDecay(weight_decay));
         }
+        Ok(AdamW {
+            inner: Adam::try_new(lr)?,
+            weight_decay,
+        })
     }
 
     /// The decay coefficient.
@@ -257,14 +414,27 @@ impl StepDecay {
     ///
     /// # Panics
     ///
-    /// Panics on non-positive inputs.
+    /// Panics on non-positive inputs; [`StepDecay::try_new`] reports the
+    /// same conditions as errors.
     pub fn new(base_lr: f32, gamma: f32, step_every: usize) -> Self {
-        assert!(base_lr > 0.0 && gamma > 0.0 && step_every > 0);
-        StepDecay {
+        Self::try_new(base_lr, gamma, step_every).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible constructor.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`OptimError`] on non-positive inputs.
+    pub fn try_new(base_lr: f32, gamma: f32, step_every: usize) -> Result<Self, OptimError> {
+        let base_lr = check_lr(base_lr)?;
+        if !(gamma > 0.0 && gamma.is_finite() && step_every > 0) {
+            return Err(OptimError::InvalidSchedule);
+        }
+        Ok(StepDecay {
             base_lr,
             gamma,
             step_every,
-        }
+        })
     }
 
     /// The learning rate for a (0-based) epoch.
@@ -412,5 +582,69 @@ mod tests {
     #[should_panic(expected = "invalid learning rate")]
     fn sgd_rejects_bad_lr() {
         Sgd::new(-1.0);
+    }
+
+    #[test]
+    fn try_constructors_return_typed_errors() {
+        assert_eq!(
+            Sgd::try_new(-1.0).unwrap_err(),
+            OptimError::InvalidLearningRate(-1.0)
+        );
+        assert_eq!(
+            Adam::try_new(f32::NAN).unwrap_err().to_string(),
+            "invalid learning rate NaN"
+        );
+        assert_eq!(
+            Momentum::try_new(0.1, 1.5).unwrap_err(),
+            OptimError::InvalidMomentum(1.5)
+        );
+        assert_eq!(
+            AdamW::try_new(0.1, 1.5).unwrap_err(),
+            OptimError::InvalidWeightDecay(1.5)
+        );
+        assert_eq!(
+            StepDecay::try_new(0.1, 0.0, 5).unwrap_err(),
+            OptimError::InvalidSchedule
+        );
+        assert!(Adam::try_with_betas(0.1, 0.9, 1.0).is_err());
+        assert!(Sgd::try_new(0.1).is_ok());
+    }
+
+    #[test]
+    fn adam_state_round_trip_resumes_exactly() {
+        // Take K steps, checkpoint, take more steps; a fresh optimizer
+        // loaded from the checkpoint must produce bit-identical updates.
+        let mut p = bowl_param(0.0);
+        let mut opt = Adam::new(0.1);
+        for _ in 0..5 {
+            bowl_grad(&mut p);
+            opt.step(&mut [&mut p]);
+            p.zero_grad();
+        }
+        let state = opt.state();
+        let mut p2 = Param::new("theta", p.value.clone());
+        let mut opt2 = Adam::new(0.999); // wrong lr, overwritten by load
+        opt2.load_state(&state).unwrap();
+        for _ in 0..5 {
+            bowl_grad(&mut p);
+            opt.step(&mut [&mut p]);
+            p.zero_grad();
+            bowl_grad(&mut p2);
+            opt2.step(&mut [&mut p2]);
+            p2.zero_grad();
+        }
+        assert_eq!(p.value.data()[0], p2.value.data()[0]);
+    }
+
+    #[test]
+    fn adam_load_state_rejects_bad_hyperparams() {
+        let mut opt = Adam::new(0.1);
+        let mut s = opt.state();
+        s.lr = -0.5;
+        assert!(matches!(
+            opt.load_state(&s),
+            Err(OptimError::InvalidLearningRate(_))
+        ));
+        assert_eq!(opt.learning_rate(), 0.1, "failed load must not mutate");
     }
 }

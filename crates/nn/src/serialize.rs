@@ -194,6 +194,48 @@ pub fn load_file(path: impl AsRef<Path>) -> Result<Checkpoint, LoadError> {
     Ok(serde_json::from_str(&json)?)
 }
 
+/// Writes `bytes` to `path` atomically: the data goes to a sibling
+/// temporary file, is fsynced, and is then renamed over `path`, so readers
+/// never observe a half-written file even if the process dies mid-write.
+///
+/// # Errors
+///
+/// Returns an error on any I/O failure; the temporary file is removed on
+/// a failed write.
+pub fn write_atomic(path: impl AsRef<Path>, bytes: &[u8]) -> io::Result<()> {
+    use std::io::Write;
+
+    let path = path.as_ref();
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let mut tmp_name = std::ffi::OsString::from(".");
+    tmp_name.push(file_name);
+    tmp_name.push(format!(".tmp.{}", std::process::id()));
+    let tmp = path.with_file_name(tmp_name);
+
+    let write = (|| {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()
+    })();
+    if let Err(e) = write {
+        fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    if let Err(e) = fs::rename(&tmp, path) {
+        fs::remove_file(&tmp).ok();
+        return Err(e);
+    }
+    // Make the rename itself durable where the platform allows it.
+    if let Some(dir) = path.parent() {
+        if let Ok(d) = fs::File::open(dir) {
+            d.sync_all().ok();
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -271,6 +313,24 @@ mod tests {
         let loaded = load_file(&path).unwrap();
         assert_eq!(ckpt, loaded);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn write_atomic_replaces_existing_content() {
+        let dir = std::env::temp_dir().join(format!("snia_nn_atomic_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.txt");
+        write_atomic(&path, b"first").unwrap();
+        write_atomic(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temporary file left behind.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok())
+            .filter(|e| e.file_name().to_string_lossy().contains(".tmp."))
+            .collect();
+        assert!(leftovers.is_empty(), "temp files left: {leftovers:?}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -127,6 +127,15 @@ pub fn flush() {
     }
 }
 
+/// Flushes the installed sink and forces it to stable storage (fsync for
+/// file-backed sinks). Called at checkpoint boundaries so the event log
+/// survives a crash immediately afterwards.
+pub fn sync() {
+    if let Some(sink) = sink_slot().read().expect("sink lock poisoned").as_ref() {
+        sink.sync();
+    }
+}
+
 /// Resets all global telemetry state: disables collection, removes the
 /// sink and clears every metric. Intended for tests and run boundaries.
 pub fn reset() {

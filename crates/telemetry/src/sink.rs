@@ -21,6 +21,13 @@ pub trait Sink: Send + Sync {
 
     /// Flushes any buffered output (default: nothing to do).
     fn flush(&self) {}
+
+    /// Flushes and forces the output to stable storage (default: same as
+    /// [`Sink::flush`]). Called before checkpoints and process-killing
+    /// fault injection so the event log survives a crash.
+    fn sync(&self) {
+        self.flush();
+    }
 }
 
 /// Discards every event.
@@ -159,11 +166,19 @@ impl Sink for JsonlSink {
     fn flush(&self) {
         let _ = self.writer.lock().expect("jsonl sink poisoned").flush();
     }
+
+    fn sync(&self) {
+        let mut w = self.writer.lock().expect("jsonl sink poisoned");
+        let _ = w.flush();
+        let _ = w.get_ref().sync_data();
+    }
 }
 
 impl Drop for JsonlSink {
     fn drop(&mut self) {
-        Sink::flush(self);
+        // Durable even when the process is about to die: fsync, not just
+        // a buffer flush.
+        Sink::sync(self);
     }
 }
 

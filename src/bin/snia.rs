@@ -17,8 +17,9 @@ use rand::SeedableRng;
 
 use snia_repro::core::classifier::LightCurveClassifier;
 use snia_repro::core::eval::auc;
+use snia_repro::core::resilience::{FaultPlan, Resilience};
 use snia_repro::core::train::{
-    classifier_scores, feature_matrix, train_classifier, ClassifierTrainConfig,
+    classifier_scores, feature_matrix, train_classifier_resilient, ClassifierTrainConfig,
 };
 use snia_repro::dataset::{split_indices, Dataset, DatasetConfig};
 
@@ -44,6 +45,12 @@ COMMANDS:
                  --epochs <n>    training epochs       (default 25)
                  --hidden <n>    hidden units          (default 100)
                  --threads <n>   data-parallel threads (default 1)
+                 --resume <dir>  checkpoint directory: save every epoch and
+                                 resume from the latest checkpoint on restart
+                                 (also via SNIA_RESUME)
+                 --fault <spec>  inject faults for resilience testing, e.g.
+                                 nan_loss@step=40,panic_worker@epoch=2,kill@epoch=3
+                                 (also via SNIA_FAULT)
                  --samples/--seed as above
     export     write all light curves in SNPCC-like text format
                  --out <path>    output file           (default lightcurves.dat)
@@ -193,7 +200,17 @@ fn cmd_classify(flags: &HashMap<String, String>) -> Result<(), String> {
         xt.shape()[0],
         epochs
     );
-    let hist = train_classifier(
+    let mut res = Resilience::from_env();
+    if let Some(dir) = flags.get("resume") {
+        res = res.with_checkpoint_dir(dir);
+    }
+    if let Some(spec) = flags.get("fault") {
+        res.faults = FaultPlan::parse(spec).map_err(|e| format!("--fault: {e}"))?;
+        if res.watchdog.is_none() {
+            res.watchdog = Some(Default::default());
+        }
+    }
+    let hist = train_classifier_resilient(
         &mut clf,
         (&xt, &tt),
         (&xv, &tv),
@@ -204,9 +221,13 @@ fn cmd_classify(flags: &HashMap<String, String>) -> Result<(), String> {
             seed,
             threads,
         },
-    );
-    let last = hist.last().expect("history");
-    println!("val accuracy {:.3}", last.val_acc);
+        &res,
+    )
+    .map_err(|e| e.to_string())?;
+    match hist.last() {
+        Some(last) => println!("val accuracy {:.3}", last.val_acc),
+        None => println!("no epochs trained (epochs = 0)"),
+    }
     let scores = classifier_scores(&mut clf, &xe);
     println!("single-epoch test AUC: {:.3}", auc(&scores, &labels));
     Ok(())

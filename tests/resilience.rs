@@ -1,0 +1,275 @@
+//! Integration tests for the `core::resilience` subsystem: kill-and-resume
+//! determinism, fault injection survival, and corrupt-checkpoint handling.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snia_repro::core::classifier::LightCurveClassifier;
+use snia_repro::core::flux_cnn::{FluxCnn, PoolKind};
+use snia_repro::core::resilience::{
+    CheckpointDir, CheckpointError, Checkpointable, FaultPlan, Resilience, WatchdogConfig,
+};
+use snia_repro::core::train::{
+    classifier_scores, feature_matrix, flux_pair_refs, train_classifier_resilient,
+    train_flux_cnn_resilient, ClassifierTrainConfig, FluxTrainConfig,
+};
+use snia_repro::dataset::{split_indices, Dataset, DatasetConfig};
+use snia_repro::nn::serialize::snapshot;
+
+fn small_dataset(seed: u64) -> Dataset {
+    Dataset::generate(&DatasetConfig {
+        n_samples: 60,
+        catalog_size: 200,
+        seed,
+    })
+}
+
+/// A unique scratch directory, wiped before use.
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("snia-resilience-{}-{name}", std::process::id()));
+    std::fs::remove_dir_all(&dir).ok();
+    dir
+}
+
+/// Bitwise history equality that treats NaN == NaN (regression runs record
+/// accuracy as NaN, which breaks plain `assert_eq!`).
+fn hist_eq(
+    a: &[snia_repro::core::train::TrainRecord],
+    b: &[snia_repro::core::train::TrainRecord],
+) -> bool {
+    let feq = |u: f64, v: f64| u.to_bits() == v.to_bits();
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(x, y)| {
+            x.epoch == y.epoch
+                && feq(x.train_loss, y.train_loss)
+                && feq(x.val_loss, y.val_loss)
+                && feq(x.train_acc, y.train_acc)
+                && feq(x.val_acc, y.val_acc)
+        })
+}
+
+fn clf_config(epochs: usize, threads: usize) -> ClassifierTrainConfig {
+    ClassifierTrainConfig {
+        epochs,
+        batch_size: 16,
+        lr: 3e-3,
+        seed: 41,
+        threads,
+    }
+}
+
+fn fresh_clf() -> LightCurveClassifier {
+    let mut rng = StdRng::seed_from_u64(17);
+    LightCurveClassifier::new(1, 16, &mut rng)
+}
+
+#[test]
+fn classifier_resume_reproduces_uninterrupted_run_exactly() {
+    let ds = small_dataset(21);
+    let (tr, va, te) = split_indices(ds.len(), 1);
+    let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
+    let (xv, tv, _) = feature_matrix(&ds, &va, 1);
+    let (xe, _, _) = feature_matrix(&ds, &te, 1);
+
+    // Uninterrupted reference run (no resilience machinery at all).
+    let mut a = fresh_clf();
+    let hist_a = train_classifier_resilient(
+        &mut a,
+        (&xt, &tt),
+        (&xv, &tv),
+        &clf_config(4, 1),
+        &Resilience::disabled(),
+    )
+    .expect("reference run");
+    assert_eq!(hist_a.len(), 4);
+
+    // Interrupted run: train 2 of 4 epochs with checkpointing, then resume
+    // in a FRESH process-equivalent (fresh model, fresh optimizer state) —
+    // everything must come back from the checkpoint.
+    let dir = scratch_dir("clf-resume");
+    let mut b = fresh_clf();
+    let partial = train_classifier_resilient(
+        &mut b,
+        (&xt, &tt),
+        (&xv, &tv),
+        &clf_config(2, 1),
+        &Resilience::with_dir(&dir),
+    )
+    .expect("partial run");
+    assert_eq!(partial.len(), 2);
+
+    let mut c = fresh_clf();
+    let hist_c = train_classifier_resilient(
+        &mut c,
+        (&xt, &tt),
+        (&xv, &tv),
+        &clf_config(4, 1),
+        &Resilience::with_dir(&dir),
+    )
+    .expect("resumed run");
+
+    // Bit-identical: the full loss history and the final weights match the
+    // uninterrupted run exactly, not approximately.
+    assert_eq!(hist_a, hist_c);
+    assert_eq!(snapshot(a.network()), snapshot(c.network()));
+    assert_eq!(
+        classifier_scores(&mut a, &xe),
+        classifier_scores(&mut c, &xe)
+    );
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn flux_cnn_resume_reproduces_uninterrupted_run_exactly() {
+    let ds = small_dataset(22);
+    let (tr, va, _) = split_indices(ds.len(), 3);
+    let crop = 36;
+    let train_refs = flux_pair_refs(&ds, &tr, 1, 1);
+    let val_refs = flux_pair_refs(&ds, &va, 1, 2);
+    let cfg = |epochs| FluxTrainConfig {
+        crop,
+        epochs,
+        batch_size: 8,
+        lr: 1e-3,
+        pairs_per_sample: 1,
+        augment: true,
+        seed: 43,
+        threads: 1,
+    };
+    let fresh = || FluxCnn::new(crop, PoolKind::Max, &mut StdRng::seed_from_u64(19));
+
+    let mut a = fresh();
+    let hist_a = train_flux_cnn_resilient(
+        &mut a,
+        &ds,
+        &train_refs,
+        &val_refs,
+        &cfg(2),
+        &Resilience::disabled(),
+    )
+    .expect("reference run");
+
+    let dir = scratch_dir("flux-resume");
+    let mut b = fresh();
+    train_flux_cnn_resilient(
+        &mut b,
+        &ds,
+        &train_refs,
+        &val_refs,
+        &cfg(1),
+        &Resilience::with_dir(&dir),
+    )
+    .expect("partial run");
+    let mut c = fresh();
+    let hist_c = train_flux_cnn_resilient(
+        &mut c,
+        &ds,
+        &train_refs,
+        &val_refs,
+        &cfg(2),
+        &Resilience::with_dir(&dir),
+    )
+    .expect("resumed run");
+
+    assert!(hist_eq(&hist_a, &hist_c), "{hist_a:?} != {hist_c:?}");
+    assert_eq!(snapshot(a.network()), snapshot(c.network()));
+    // BatchNorm running statistics travel through the checkpoint too.
+    assert_eq!(a.capture().extra, c.capture().extra);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_nan_loss_rolls_back_and_completes_with_halved_lr() {
+    let ds = small_dataset(23);
+    let (tr, va, _) = split_indices(ds.len(), 1);
+    let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
+    let (xv, tv, _) = feature_matrix(&ds, &va, 1);
+
+    let dir = scratch_dir("nan-loss");
+    let mut res = Resilience::with_dir(&dir);
+    res.faults = FaultPlan::parse("nan_loss@step=2").expect("plan");
+
+    let mut clf = fresh_clf();
+    let hist =
+        train_classifier_resilient(&mut clf, (&xt, &tt), (&xv, &tv), &clf_config(3, 1), &res)
+            .expect("training must survive the injected NaN");
+    assert_eq!(hist.len(), 3, "all epochs complete after rollback");
+    assert!(hist.iter().all(|r| r.train_loss.is_finite()));
+
+    // The rollback halved the learning rate and the halved rate persisted
+    // through every later checkpoint.
+    let state = CheckpointDir::new(&dir)
+        .load()
+        .expect("checkpoint readable")
+        .expect("checkpoint present");
+    assert!(
+        (state.optim.lr - 1.5e-3).abs() < 1e-9,
+        "expected halved lr, got {}",
+        state.optim.lr
+    );
+    assert_eq!(state.next_epoch, 3);
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn injected_worker_panic_is_survived_at_three_threads() {
+    let ds = small_dataset(24);
+    let (tr, va, _) = split_indices(ds.len(), 1);
+    let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
+    let (xv, tv, _) = feature_matrix(&ds, &va, 1);
+
+    let res = Resilience {
+        checkpoint_dir: None,
+        watchdog: Some(WatchdogConfig::default()),
+        faults: FaultPlan::parse("panic_worker@epoch=0").expect("plan"),
+    };
+    let mut clf = fresh_clf();
+    let hist =
+        train_classifier_resilient(&mut clf, (&xt, &tt), (&xv, &tv), &clf_config(2, 3), &res)
+            .expect("training must survive the injected worker panic");
+    assert_eq!(hist.len(), 2);
+    assert!(hist.iter().all(|r| r.train_loss.is_finite()));
+}
+
+#[test]
+fn corrupt_checkpoint_is_reported_as_a_typed_error() {
+    let ds = small_dataset(25);
+    let (tr, va, _) = split_indices(ds.len(), 1);
+    let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
+    let (xv, tv, _) = feature_matrix(&ds, &va, 1);
+
+    let dir = scratch_dir("corrupt");
+    let mut clf = fresh_clf();
+    train_classifier_resilient(
+        &mut clf,
+        (&xt, &tt),
+        (&xv, &tv),
+        &clf_config(1, 1),
+        &Resilience::with_dir(&dir),
+    )
+    .expect("seed run");
+
+    let ckpt = CheckpointDir::new(&dir);
+    let mut bytes = std::fs::read(ckpt.latest_path()).expect("checkpoint written");
+    let last = bytes.len() - 2;
+    bytes[last] ^= 0x55;
+    std::fs::write(ckpt.latest_path(), &bytes).expect("rewrite");
+
+    match ckpt.load() {
+        Err(CheckpointError::CrcMismatch { .. }) => {}
+        other => panic!("expected CrcMismatch, got {other:?}"),
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn restoring_into_a_mismatched_model_is_a_typed_error() {
+    let mut rng = StdRng::seed_from_u64(31);
+    let narrow = LightCurveClassifier::new(1, 8, &mut rng);
+    let mut wide = LightCurveClassifier::new(1, 32, &mut rng);
+    let state = narrow.capture();
+    assert!(
+        matches!(wide.restore(&state), Err(CheckpointError::Model(_))),
+        "shape mismatch must surface as CheckpointError::Model"
+    );
+}

@@ -1,0 +1,66 @@
+//! Property tests for the checkpoint wire format: serialization round-trips
+//! byte-identically, and any single-byte corruption is detected.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use snia_repro::core::classifier::LightCurveClassifier;
+use snia_repro::core::resilience::{capture_state, TrainState};
+use snia_repro::core::train::TrainRecord;
+use snia_repro::nn::optim::Adam;
+
+fn sample_state(seed: u64, next_epoch: usize, step: u64, epochs: usize) -> TrainState {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let model = LightCurveClassifier::new(1, 8, &mut rng);
+    let opt = Adam::new(3e-3);
+    let history: Vec<TrainRecord> = (0..epochs)
+        .map(|e| TrainRecord {
+            epoch: e,
+            train_loss: 1.0 / (e as f64 + 1.0),
+            val_loss: 1.1 / (e as f64 + 1.0),
+            train_acc: 0.5 + 0.01 * e as f64,
+            val_acc: f64::NAN, // NaN must survive the JSON round trip
+        })
+        .collect();
+    capture_state(&model, &opt, &rng, next_epoch, step, &history)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn save_load_save_is_byte_identical(
+        seed in any::<u64>(),
+        next_epoch in 0usize..1000,
+        step in any::<u64>(),
+        epochs in 0usize..5,
+    ) {
+        let state = sample_state(seed, next_epoch, step, epochs);
+        let bytes = state.to_bytes().expect("serialize");
+        let reloaded = TrainState::from_bytes(&bytes).expect("deserialize");
+        let bytes2 = reloaded.to_bytes().expect("re-serialize");
+        prop_assert_eq!(bytes, bytes2);
+        prop_assert_eq!(reloaded.next_epoch, next_epoch);
+        prop_assert_eq!(reloaded.step, step);
+        prop_assert_eq!(reloaded.history.len(), epochs);
+    }
+
+    #[test]
+    fn any_single_byte_corruption_is_detected(
+        seed in any::<u64>(),
+        pos_frac in 0.0f64..1.0,
+        mask in 1usize..256,
+    ) {
+        let state = sample_state(seed, 3, 42, 2);
+        let mut bytes = state.to_bytes().expect("serialize");
+        let pos = ((bytes.len() - 1) as f64 * pos_frac) as usize;
+        bytes[pos] ^= mask as u8;
+        prop_assert!(
+            TrainState::from_bytes(&bytes).is_err(),
+            "corruption at byte {} (mask {:#x}) went undetected",
+            pos,
+            mask
+        );
+    }
+}
