@@ -13,7 +13,13 @@
 //! spans (enters > exits) are also tolerated, since a killed process never
 //! exits its open spans.
 //!
+//! With `--scores`, the file is validated as `snia serve` output instead:
+//! every line must be an object with an integer `id` and a finite `score`
+//! in `[0, 1]`, ids must be unique, and `--expect <n>` additionally pins
+//! the line count.
+//!
 //! Usage: `validate_jsonl [--crashed] <events.jsonl>`
+//!        `validate_jsonl --scores [--expect <n>] <scores.jsonl>`
 
 use std::process::ExitCode;
 
@@ -136,14 +142,72 @@ fn run(path: &str, crashed: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Validates `snia serve` output: unique integer ids, finite scores in
+/// `[0, 1]`, and (when `expect` is set) an exact line count.
+fn run_scores(path: &str, expect: Option<usize>) -> Result<(), String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let mut seen = std::collections::HashSet::new();
+    let mut lines = 0usize;
+    for (i, line) in text.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let v: Value = serde_json::from_str(line)
+            .map_err(|e| format!("{path}:{}: invalid JSON: {e:?}", i + 1))?;
+        let id = v
+            .get("id")
+            .and_then(Value::as_u64)
+            .ok_or(format!("{path}:{}: missing integer field 'id'", i + 1))?;
+        if !seen.insert(id) {
+            return Err(format!("{path}:{}: duplicate id {id}", i + 1));
+        }
+        let score = v
+            .get("score")
+            .and_then(Value::as_f64)
+            .ok_or(format!("{path}:{}: missing numeric field 'score'", i + 1))?;
+        if !score.is_finite() || !(0.0..=1.0).contains(&score) {
+            return Err(format!("{path}:{}: score {score} outside [0, 1]", i + 1));
+        }
+        lines += 1;
+    }
+    if lines == 0 {
+        return Err(format!("{path}: no scored responses"));
+    }
+    if let Some(want) = expect {
+        if lines != want {
+            return Err(format!("{path}: expected {want} responses, got {lines}"));
+        }
+    }
+    println!("{path}: OK — {lines} scored responses, all ids unique");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let crashed = args.iter().any(|a| a == "--crashed");
-    let Some(path) = args.iter().find(|a| !a.starts_with("--")) else {
-        eprintln!("usage: validate_jsonl [--crashed] <events.jsonl>");
+    let scores = args.iter().any(|a| a == "--scores");
+    let expect = args
+        .windows(2)
+        .find(|w| w[0] == "--expect")
+        .and_then(|w| w[1].parse().ok());
+    let Some(path) = args
+        .iter()
+        .enumerate()
+        .find(|(i, a)| !a.starts_with("--") && (*i == 0 || args[i - 1] != "--expect"))
+        .map(|(_, a)| a)
+    else {
+        eprintln!(
+            "usage: validate_jsonl [--crashed] <events.jsonl>\n       \
+             validate_jsonl --scores [--expect <n>] <scores.jsonl>"
+        );
         return ExitCode::FAILURE;
     };
-    match run(path, crashed) {
+    let result = if scores {
+        run_scores(path, expect)
+    } else {
+        run(path, crashed)
+    };
+    match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
             eprintln!("error: {e}");

@@ -18,6 +18,17 @@ pub struct RocPoint {
 /// Returns points from `(0, 0)` to `(1, 1)` inclusive, in order of
 /// decreasing threshold.
 ///
+/// # Tied scores
+///
+/// Equal scores are deterministic by construction: all samples sharing a
+/// score enter the curve **together**, as one point whose threshold is
+/// that score — never split across two points, whatever order the inputs
+/// arrive in. (Sorting is only stable *within* a tie group, but since the
+/// whole group is consumed before the point is emitted, input permutation
+/// cannot change the curve.) A tie mixing both classes therefore shows up
+/// as a single diagonal step, which is also what makes the trapezoid area
+/// of this curve agree with [`auc`]'s average-rank tie correction.
+///
 /// # Panics
 ///
 /// Panics if inputs are empty, lengths differ, or labels are single-class.
@@ -244,6 +255,28 @@ mod tests {
         for w in curve.windows(2) {
             assert!(w[1].fpr >= w[0].fpr && w[1].tpr >= w[0].tpr);
         }
+    }
+
+    #[test]
+    fn tied_scores_form_single_threshold_groups() {
+        // Three tie groups; the middle one mixes both classes and must
+        // appear as ONE diagonal step, not be split by input order.
+        let scores = [0.8, 0.8, 0.6, 0.6, 0.6, 0.2];
+        let labels = [true, false, true, true, false, false];
+        let curve = roc_curve(&scores, &labels);
+        assert_eq!(curve.len(), 4); // origin + one point per distinct score
+        assert_eq!((curve[0].fpr, curve[0].tpr), (0.0, 0.0));
+        assert_eq!(curve[1].threshold, 0.8);
+        assert_eq!((curve[1].fpr, curve[1].tpr), (1.0 / 3.0, 1.0 / 3.0));
+        assert_eq!(curve[2].threshold, 0.6);
+        assert_eq!((curve[2].fpr, curve[2].tpr), (2.0 / 3.0, 1.0));
+        assert_eq!(curve[3].threshold, 0.2);
+        assert_eq!((curve[3].fpr, curve[3].tpr), (1.0, 1.0));
+
+        // Reversing the inputs must reproduce the identical curve.
+        let rev_scores: Vec<f64> = scores.iter().rev().copied().collect();
+        let rev_labels: Vec<bool> = labels.iter().rev().copied().collect();
+        assert_eq!(curve, roc_curve(&rev_scores, &rev_labels));
     }
 
     #[test]

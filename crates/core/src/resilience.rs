@@ -63,6 +63,83 @@ pub fn crc32(bytes: &[u8]) -> u32 {
 }
 
 // ---------------------------------------------------------------------------
+// Framed encoding
+// ---------------------------------------------------------------------------
+
+/// Frames `body` under a CRC-validated single-line header:
+/// `<magic> v<version> crc32=<hex8> len=<bytes>\n` followed by the raw body.
+///
+/// [`TrainState`] checkpoints (`SNIA-CKPT`) and `snia-serve` model bundles
+/// (`SNIA-BUNDLE`) share this envelope, so corruption detection behaves
+/// identically for every on-disk artefact the toolkit writes.
+pub fn encode_framed(magic: &str, version: u32, body: &[u8]) -> Vec<u8> {
+    let crc = crc32(body);
+    let mut out = format!("{magic} v{version} crc32={crc:08x} len={}\n", body.len()).into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Validates and strips an [`encode_framed`] header, returning the body.
+///
+/// # Errors
+///
+/// Returns [`CheckpointError::BadHeader`] when the header line is missing,
+/// malformed or carries a different magic, [`CheckpointError::Version`] on a
+/// version mismatch, [`CheckpointError::Truncated`] when the body length
+/// disagrees with the header, and [`CheckpointError::CrcMismatch`] when the
+/// body fails its checksum.
+pub fn decode_framed<'a>(
+    magic: &str,
+    version: u32,
+    bytes: &'a [u8],
+) -> Result<&'a [u8], CheckpointError> {
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or(CheckpointError::BadHeader)?;
+    let header = std::str::from_utf8(&bytes[..nl]).map_err(|_| CheckpointError::BadHeader)?;
+    let mut it = header.split_whitespace();
+    if it.next() != Some(magic) {
+        return Err(CheckpointError::BadHeader);
+    }
+    let found_version = it
+        .next()
+        .and_then(|t| t.strip_prefix('v'))
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or(CheckpointError::BadHeader)?;
+    if found_version != version {
+        return Err(CheckpointError::Version {
+            found: found_version,
+        });
+    }
+    let expected_crc = it
+        .next()
+        .and_then(|t| t.strip_prefix("crc32="))
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or(CheckpointError::BadHeader)?;
+    let len = it
+        .next()
+        .and_then(|t| t.strip_prefix("len="))
+        .and_then(|n| n.parse::<usize>().ok())
+        .ok_or(CheckpointError::BadHeader)?;
+    let body = &bytes[nl + 1..];
+    if body.len() != len {
+        return Err(CheckpointError::Truncated {
+            expected: len,
+            found: body.len(),
+        });
+    }
+    let found_crc = crc32(body);
+    if found_crc != expected_crc {
+        return Err(CheckpointError::CrcMismatch {
+            expected: expected_crc,
+            found: found_crc,
+        });
+    }
+    Ok(body)
+}
+
+// ---------------------------------------------------------------------------
 // Train state
 // ---------------------------------------------------------------------------
 
@@ -106,14 +183,11 @@ impl TrainState {
     /// Returns [`CheckpointError::Json`] if serialisation fails.
     pub fn to_bytes(&self) -> Result<Vec<u8>, CheckpointError> {
         let body = serde_json::to_string(self)?;
-        let crc = crc32(body.as_bytes());
-        let mut out = format!(
-            "SNIA-CKPT v{CHECKPOINT_VERSION} crc32={crc:08x} len={}\n",
-            body.len()
-        )
-        .into_bytes();
-        out.extend_from_slice(body.as_bytes());
-        Ok(out)
+        Ok(encode_framed(
+            "SNIA-CKPT",
+            CHECKPOINT_VERSION,
+            body.as_bytes(),
+        ))
     }
 
     /// Decodes a checkpoint file image, validating the header, length and
@@ -125,47 +199,7 @@ impl TrainState {
     /// [`CheckpointError::Truncated`], [`CheckpointError::CrcMismatch`] or
     /// [`CheckpointError::Json`] depending on what is wrong with the bytes.
     pub fn from_bytes(bytes: &[u8]) -> Result<TrainState, CheckpointError> {
-        let nl = bytes
-            .iter()
-            .position(|&b| b == b'\n')
-            .ok_or(CheckpointError::BadHeader)?;
-        let header = std::str::from_utf8(&bytes[..nl]).map_err(|_| CheckpointError::BadHeader)?;
-        let mut it = header.split_whitespace();
-        if it.next() != Some("SNIA-CKPT") {
-            return Err(CheckpointError::BadHeader);
-        }
-        let version = it
-            .next()
-            .and_then(|t| t.strip_prefix('v'))
-            .and_then(|v| v.parse::<u32>().ok())
-            .ok_or(CheckpointError::BadHeader)?;
-        if version != CHECKPOINT_VERSION {
-            return Err(CheckpointError::Version { found: version });
-        }
-        let expected_crc = it
-            .next()
-            .and_then(|t| t.strip_prefix("crc32="))
-            .and_then(|h| u32::from_str_radix(h, 16).ok())
-            .ok_or(CheckpointError::BadHeader)?;
-        let len = it
-            .next()
-            .and_then(|t| t.strip_prefix("len="))
-            .and_then(|n| n.parse::<usize>().ok())
-            .ok_or(CheckpointError::BadHeader)?;
-        let body = &bytes[nl + 1..];
-        if body.len() != len {
-            return Err(CheckpointError::Truncated {
-                expected: len,
-                found: body.len(),
-            });
-        }
-        let found_crc = crc32(body);
-        if found_crc != expected_crc {
-            return Err(CheckpointError::CrcMismatch {
-                expected: expected_crc,
-                found: found_crc,
-            });
-        }
+        let body = decode_framed("SNIA-CKPT", CHECKPOINT_VERSION, bytes)?;
         let text = std::str::from_utf8(body).map_err(|_| CheckpointError::BadHeader)?;
         let state: TrainState = serde_json::from_str(text)?;
         if state.version != CHECKPOINT_VERSION {

@@ -41,9 +41,9 @@ impl Dropout {
 impl Layer for Dropout {
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         if mode == Mode::Eval || self.p == 0.0 {
-            if mode == Mode::Train {
-                self.cache_mask = Some(Tensor::ones(input.shape().to_vec()));
-            }
+            // Cache the identity mask in eval mode too, so backward works
+            // for gradient checks that drive the inference path.
+            self.cache_mask = Some(Tensor::ones(input.shape().to_vec()));
             return input.clone();
         }
         let keep = 1.0 - self.p;
@@ -118,5 +118,19 @@ mod tests {
     #[should_panic(expected = "p must be in")]
     fn invalid_p_panics() {
         Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn gradcheck_eval_mode() {
+        // In evaluation, dropout is the identity, and its backward must
+        // pass gradients through untouched.
+        let x = Tensor::from_slice(&[0.5, -1.0, 2.0, 0.0, -0.3, 1.7]);
+        crate::gradcheck::check_layer_gradients_in(
+            Box::new(Dropout::new(0.5, 7)),
+            &x,
+            Mode::Eval,
+            1e-2,
+            1e-3,
+        );
     }
 }

@@ -303,6 +303,16 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_single_step() {
+        // T = 1 exercises the h0 = 0 boundary in isolation: no recurrent
+        // contribution flows through W·h, only the input path.
+        let mut rng = StdRng::seed_from_u64(65);
+        let gru = Gru::new(2, 3, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![4, 1, 2], 1.0);
+        check_layer_gradients(Box::new(gru), &x, 1e-2, 4e-2);
+    }
+
+    #[test]
     fn order_sensitivity() {
         // A GRU must distinguish sequence orderings.
         let mut rng = StdRng::seed_from_u64(64);

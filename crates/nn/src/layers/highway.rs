@@ -199,6 +199,29 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_wide() {
+        // A second width/batch combination, so the gate and carry paths
+        // are checked beyond the minimal 4-unit case.
+        let mut rng = StdRng::seed_from_u64(55);
+        let hw = Highway::new(7, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![5, 7], 1.0);
+        check_layer_gradients(Box::new(hw), &x, 1e-2, 3e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "without a training forward pass")]
+    fn eval_forward_does_not_arm_backward() {
+        // Eval skips the cache on purpose (inference allocates nothing);
+        // calling backward afterwards must fail loudly, not silently
+        // reuse a stale mask.
+        let mut rng = StdRng::seed_from_u64(56);
+        let mut hw = Highway::new(4, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![2, 4], 1.0);
+        let _ = hw.forward(&x, Mode::Eval);
+        let _ = hw.backward(&Tensor::ones(vec![2, 4]));
+    }
+
+    #[test]
     fn has_four_parameter_tensors() {
         let mut rng = StdRng::seed_from_u64(54);
         let hw = Highway::new(4, &mut rng);

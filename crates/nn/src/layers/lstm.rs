@@ -305,6 +305,17 @@ mod tests {
     }
 
     #[test]
+    fn gradcheck_single_step() {
+        // T = 1 isolates the c0 = h0 = 0 boundary: the forget gate
+        // multiplies a zero cell state, so only the input/candidate path
+        // carries gradient.
+        let mut rng = StdRng::seed_from_u64(85);
+        let lstm = Lstm::new(2, 3, &mut rng);
+        let x = init::randn_tensor(&mut rng, vec![4, 1, 2], 1.0);
+        check_layer_gradients(Box::new(lstm), &x, 1e-2, 4e-2);
+    }
+
+    #[test]
     fn order_sensitivity() {
         let mut rng = StdRng::seed_from_u64(84);
         let mut lstm = Lstm::new(1, 4, &mut rng);

@@ -165,6 +165,21 @@ mod tests {
     }
 
     #[test]
+    fn shared_gradcheck_on_conv_input() {
+        // The channel-shared slope must also accumulate correctly over
+        // 4-D (N,C,H,W) activations, where one scalar sees every element.
+        let mut rng = StdRng::seed_from_u64(22);
+        let x = init::randn_tensor(&mut rng, vec![2, 3, 2, 2], 1.0).map(|v| {
+            if v.abs() < 0.1 {
+                v + 0.2
+            } else {
+                v
+            }
+        });
+        check_layer_gradients(Box::new(PRelu::shared()), &x, 1e-3, 2e-2);
+    }
+
+    #[test]
     fn channelwise_gradcheck() {
         let mut rng = StdRng::seed_from_u64(21);
         let x = init::randn_tensor(&mut rng, vec![2, 3, 2, 2], 1.0).map(|v| {

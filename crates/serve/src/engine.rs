@@ -1,0 +1,557 @@
+//! The micro-batching inference engine.
+//!
+//! Requests enter through [`Engine::submit`], which validates them against
+//! the served model, rejects them with [`ServeError::Overloaded`] when the
+//! bounded queue is full, and otherwise returns a [`Ticket`] the caller
+//! blocks on. Worker threads (one bit-identical model replica each) drain
+//! the queue in dynamic batches: a batch is cut as soon as `max_batch`
+//! requests are pending or the *oldest* pending request has waited
+//! `max_wait` — so a lone request still gets an answer within the latency
+//! budget, while bursts amortise into full batches.
+
+use std::collections::VecDeque;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::Instant;
+
+use snia_telemetry::{counter_add, gauge_set, observe};
+
+use crate::bundle::{BundleError, ModelBundle, ModelKind, ServedModel};
+
+/// Batching and backpressure policy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineConfig {
+    /// Flush a batch as soon as this many requests are pending.
+    pub max_batch: usize,
+    /// Flush a batch once the oldest pending request has waited this long.
+    pub max_wait: std::time::Duration,
+    /// Submissions beyond this many queued requests are shed with
+    /// [`ServeError::Overloaded`].
+    pub queue_cap: usize,
+    /// Worker threads, each holding its own model replica.
+    pub workers: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            max_batch: 32,
+            max_wait: std::time::Duration::from_millis(2),
+            queue_cap: 1024,
+            workers: 1,
+        }
+    }
+}
+
+/// Typed serving failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// The queue was full; the request was shed, not enqueued.
+    Overloaded {
+        /// Requests pending when the submission arrived.
+        depth: usize,
+        /// The configured queue capacity.
+        cap: usize,
+    },
+    /// The request does not fit the served model.
+    BadRequest {
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The engine is shutting down and no longer accepts or answers work.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded { depth, cap } => {
+                write!(f, "overloaded: {depth} requests pending (capacity {cap})")
+            }
+            ServeError::BadRequest { reason } => write!(f, "bad request: {reason}"),
+            ServeError::ShuttingDown => write!(f, "engine is shutting down"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// The payload of a classification request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestInput {
+    /// A flattened light-curve feature row for the classifier
+    /// (`10 · epochs` values).
+    Features(Vec<f32>),
+    /// Image cutouts plus observation dates for the joint model.
+    Cutouts {
+        /// `5 · crop · crop` pixels: five difference-image cutouts,
+        /// row-major, concatenated in band order.
+        images: Vec<f32>,
+        /// Five normalised observation dates.
+        dates: Vec<f32>,
+    },
+}
+
+/// One classification request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Request {
+    /// Caller-chosen identifier, echoed in the [`Response`].
+    pub id: u64,
+    /// The payload.
+    pub input: RequestInput,
+}
+
+/// One scored answer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response {
+    /// The request's identifier.
+    pub id: u64,
+    /// SNIa probability in `(0, 1)`.
+    pub score: f64,
+}
+
+struct Job {
+    req: Request,
+    enqueued: Instant,
+    tx: mpsc::Sender<Result<Response, ServeError>>,
+}
+
+struct QueueState {
+    jobs: VecDeque<Job>,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<QueueState>,
+    nonempty: Condvar,
+}
+
+/// A handle to one in-flight request. Dropping it abandons the answer
+/// (the worker still scores the batch; the send is simply discarded).
+#[derive(Debug)]
+pub struct Ticket {
+    rx: mpsc::Receiver<Result<Response, ServeError>>,
+}
+
+impl Ticket {
+    /// Blocks until the request is scored.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::ShuttingDown`] when the engine stopped before
+    /// answering.
+    pub fn wait(self) -> Result<Response, ServeError> {
+        self.rx.recv().unwrap_or(Err(ServeError::ShuttingDown))
+    }
+}
+
+/// What the served model expects of a request; captured before the model
+/// moves into the worker threads so validation needs no lock.
+#[derive(Debug, Clone, Copy)]
+struct InputSpec {
+    kind: ModelKind,
+    feature_len: usize,
+    crop: usize,
+}
+
+impl InputSpec {
+    fn validate(&self, input: &RequestInput) -> Result<(), ServeError> {
+        let bad = |reason: String| Err(ServeError::BadRequest { reason });
+        match (self.kind, input) {
+            (ModelKind::Classifier, RequestInput::Features(f)) => {
+                if f.len() != self.feature_len {
+                    return bad(format!(
+                        "expected {} features, got {}",
+                        self.feature_len,
+                        f.len()
+                    ));
+                }
+                Ok(())
+            }
+            (ModelKind::Classifier, RequestInput::Cutouts { .. }) => {
+                bad("this bundle serves feature requests, not cutouts".into())
+            }
+            (ModelKind::Joint, RequestInput::Cutouts { images, dates }) => {
+                let want = 5 * self.crop * self.crop;
+                if images.len() != want {
+                    return bad(format!(
+                        "expected {want} pixels (5 bands of {0}x{0}), got {1}",
+                        self.crop,
+                        images.len()
+                    ));
+                }
+                if dates.len() != 5 {
+                    return bad(format!("expected 5 dates, got {}", dates.len()));
+                }
+                Ok(())
+            }
+            (ModelKind::Joint, RequestInput::Features(_)) => {
+                bad("this bundle serves cutout requests, not feature rows".into())
+            }
+        }
+    }
+}
+
+/// The batched inference engine: a bounded queue plus a worker pool.
+pub struct Engine {
+    shared: Arc<Shared>,
+    handles: Vec<thread::JoinHandle<()>>,
+    spec: InputSpec,
+    cfg: EngineConfig,
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("workers", &self.handles.len())
+            .field("cfg", &self.cfg)
+            .finish()
+    }
+}
+
+impl Engine {
+    /// Starts the worker pool around an already-instantiated model.
+    ///
+    /// Workers beyond the first score on bit-identical replicas built via
+    /// [`ServedModel::replica`].
+    ///
+    /// # Panics
+    ///
+    /// Panics when `cfg.max_batch`, `cfg.queue_cap`, or `cfg.workers` is 0.
+    pub fn start(model: ServedModel, cfg: EngineConfig) -> Engine {
+        assert!(cfg.max_batch > 0, "max_batch must be positive");
+        assert!(cfg.queue_cap > 0, "queue_cap must be positive");
+        assert!(cfg.workers > 0, "workers must be positive");
+        let spec = InputSpec {
+            kind: model.kind(),
+            feature_len: model.feature_len(),
+            crop: model.crop(),
+        };
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(QueueState {
+                jobs: VecDeque::new(),
+                shutdown: false,
+            }),
+            nonempty: Condvar::new(),
+        });
+        let mut models = Vec::with_capacity(cfg.workers);
+        for _ in 1..cfg.workers {
+            models.push(model.replica());
+        }
+        models.push(model);
+        let handles = models
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut m)| {
+                let shared = Arc::clone(&shared);
+                thread::Builder::new()
+                    .name(format!("snia-serve-{i}"))
+                    .spawn(move || worker_loop(&shared, &cfg, &mut m))
+                    .expect("spawn serve worker")
+            })
+            .collect();
+        Engine {
+            shared,
+            handles,
+            spec,
+            cfg,
+        }
+    }
+
+    /// Loads, instantiates, and starts serving a bundle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BundleError`] when the weights do not fit the manifest's
+    /// architecture.
+    pub fn from_bundle(bundle: &ModelBundle, cfg: EngineConfig) -> Result<Engine, BundleError> {
+        Ok(Engine::start(bundle.instantiate()?, cfg))
+    }
+
+    /// The policy this engine runs under.
+    pub fn config(&self) -> EngineConfig {
+        self.cfg
+    }
+
+    /// Enqueues a request, returning a [`Ticket`] to block on.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] when the input does not fit the model,
+    /// [`ServeError::Overloaded`] when the queue is at capacity (the
+    /// request is shed, never enqueued), [`ServeError::ShuttingDown`]
+    /// after shutdown began.
+    pub fn submit(&self, req: Request) -> Result<Ticket, ServeError> {
+        self.spec.validate(&req.input)?;
+        let (tx, rx) = mpsc::channel();
+        let mut q = self.shared.queue.lock().expect("serve queue poisoned");
+        if q.shutdown {
+            return Err(ServeError::ShuttingDown);
+        }
+        if q.jobs.len() >= self.cfg.queue_cap {
+            let depth = q.jobs.len();
+            drop(q);
+            counter_add("serve.shed_total", 1);
+            return Err(ServeError::Overloaded {
+                depth,
+                cap: self.cfg.queue_cap,
+            });
+        }
+        q.jobs.push_back(Job {
+            req,
+            enqueued: Instant::now(),
+            tx,
+        });
+        let depth = q.jobs.len();
+        drop(q);
+        gauge_set("serve.queue_depth", depth as f64);
+        self.shared.nonempty.notify_one();
+        Ok(Ticket { rx })
+    }
+
+    /// Submits and waits — the one-call path for callers that don't
+    /// pipeline.
+    ///
+    /// # Errors
+    ///
+    /// As [`Engine::submit`] and [`Ticket::wait`].
+    pub fn score(&self, req: Request) -> Result<Response, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Stops accepting work, lets the workers drain what is already
+    /// queued, and joins them.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().expect("serve queue poisoned");
+            q.shutdown = true;
+        }
+        self.shared.nonempty.notify_all();
+        for handle in self.handles.drain(..) {
+            handle.join().expect("serve worker panicked");
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+/// Pulls the next batch off the queue, or `None` once shutdown has begun
+/// and the queue is drained.
+///
+/// A batch is cut when any of: `max_batch` requests are pending, the
+/// oldest pending request has aged past `max_wait`, or shutdown was
+/// requested (drain without waiting out the budget). Otherwise the worker
+/// sleeps on the condvar until the deadline of the oldest request.
+fn next_batch(shared: &Shared, cfg: &EngineConfig) -> Option<Vec<Job>> {
+    let mut q = shared.queue.lock().expect("serve queue poisoned");
+    loop {
+        if q.jobs.is_empty() {
+            if q.shutdown {
+                return None;
+            }
+            q = shared.nonempty.wait(q).expect("serve queue poisoned");
+            continue;
+        }
+        let now = Instant::now();
+        let deadline = q.jobs.front().expect("nonempty").enqueued + cfg.max_wait;
+        if q.jobs.len() >= cfg.max_batch || q.shutdown || now >= deadline {
+            let n = q.jobs.len().min(cfg.max_batch);
+            let batch: Vec<Job> = q.jobs.drain(..n).collect();
+            let depth = q.jobs.len();
+            drop(q);
+            gauge_set("serve.queue_depth", depth as f64);
+            if depth > 0 {
+                // More work remains; wake a sibling instead of hoarding it.
+                shared.nonempty.notify_one();
+            }
+            return Some(batch);
+        }
+        let (guard, _timed_out) = shared
+            .nonempty
+            .wait_timeout(q, deadline - now)
+            .expect("serve queue poisoned");
+        q = guard;
+    }
+}
+
+fn run_batch(model: &mut ServedModel, batch: Vec<Job>) {
+    let started = Instant::now();
+    let inputs: Vec<&RequestInput> = batch.iter().map(|j| &j.req.input).collect();
+    let scores = model.score_batch(&inputs);
+    let done = Instant::now();
+    observe("serve.batch_size", batch.len() as f64);
+    observe(
+        "serve.batch_ns",
+        done.duration_since(started).as_nanos() as f64,
+    );
+    counter_add("serve.batches_total", 1);
+    counter_add("serve.requests_total", batch.len() as u64);
+    for (job, score) in batch.into_iter().zip(scores) {
+        observe(
+            "serve.latency_ns",
+            done.duration_since(job.enqueued).as_nanos() as f64,
+        );
+        // A dropped ticket just means nobody is listening any more.
+        let _ = job.tx.send(Ok(Response {
+            id: job.req.id,
+            score,
+        }));
+    }
+}
+
+fn worker_loop(shared: &Shared, cfg: &EngineConfig, model: &mut ServedModel) {
+    while let Some(batch) = next_batch(shared, cfg) {
+        run_batch(model, batch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snia_core::LightCurveClassifier;
+    use std::time::Duration;
+
+    fn tiny_model(seed: u64) -> ServedModel {
+        let mut rng = StdRng::seed_from_u64(seed);
+        ServedModel::Classifier(LightCurveClassifier::new(1, 8, &mut rng))
+    }
+
+    fn feature_request(id: u64, seed: u64) -> Request {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let row = snia_nn::init::randn_tensor(&mut rng, vec![10], 1.0);
+        Request {
+            id,
+            input: RequestInput::Features(row.data().to_vec()),
+        }
+    }
+
+    #[test]
+    fn deadline_flush_answers_lone_requests() {
+        let engine = Engine::start(
+            tiny_model(1),
+            EngineConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(5),
+                ..EngineConfig::default()
+            },
+        );
+        let req = feature_request(7, 100);
+        let mut direct = tiny_model(1);
+        let expected = direct.score_batch(&[&req.input])[0];
+        let got = engine.score(req).unwrap();
+        assert_eq!(got.id, 7);
+        assert_eq!(got.score.to_bits(), expected.to_bits());
+        engine.shutdown();
+    }
+
+    #[test]
+    fn full_queue_sheds_with_overloaded() {
+        // One worker, a huge batch threshold, and a long deadline: the
+        // queued jobs sit untouched while we overfill the queue.
+        let engine = Engine::start(
+            tiny_model(2),
+            EngineConfig {
+                max_batch: 64,
+                max_wait: Duration::from_millis(500),
+                queue_cap: 4,
+                workers: 1,
+            },
+        );
+        let mut tickets = Vec::new();
+        for i in 0..4 {
+            tickets.push(engine.submit(feature_request(i, 200 + i)).unwrap());
+        }
+        match engine.submit(feature_request(99, 299)) {
+            Err(ServeError::Overloaded { depth, cap }) => {
+                assert_eq!(depth, 4);
+                assert_eq!(cap, 4);
+            }
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().unwrap().id, i as u64);
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn malformed_requests_are_rejected_at_submit() {
+        let engine = Engine::start(tiny_model(3), EngineConfig::default());
+        let short = Request {
+            id: 1,
+            input: RequestInput::Features(vec![0.0; 3]),
+        };
+        assert!(matches!(
+            engine.submit(short),
+            Err(ServeError::BadRequest { .. })
+        ));
+        let cutout = Request {
+            id: 2,
+            input: RequestInput::Cutouts {
+                images: vec![0.0; 5 * 36 * 36],
+                dates: vec![0.0; 5],
+            },
+        };
+        assert!(matches!(
+            engine.submit(cutout),
+            Err(ServeError::BadRequest { .. })
+        ));
+        engine.shutdown();
+    }
+
+    #[test]
+    fn worker_pool_scores_bit_identically_to_direct_calls() {
+        let engine = Engine::start(
+            tiny_model(4),
+            EngineConfig {
+                max_batch: 3,
+                max_wait: Duration::from_millis(2),
+                workers: 2,
+                ..EngineConfig::default()
+            },
+        );
+        let requests: Vec<Request> = (0..17).map(|i| feature_request(i, 400 + i)).collect();
+        let mut direct = tiny_model(4);
+        let tickets: Vec<Ticket> = requests
+            .iter()
+            .map(|r| engine.submit(r.clone()).unwrap())
+            .collect();
+        for (req, ticket) in requests.iter().zip(tickets) {
+            let got = ticket.wait().unwrap();
+            assert_eq!(got.id, req.id);
+            let expected = direct.score_batch(&[&req.input])[0];
+            assert_eq!(got.score.to_bits(), expected.to_bits());
+        }
+        engine.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_pending_work() {
+        let engine = Engine::start(
+            tiny_model(5),
+            EngineConfig {
+                max_batch: 64,
+                max_wait: Duration::from_secs(5),
+                ..EngineConfig::default()
+            },
+        );
+        let tickets: Vec<Ticket> = (0..6)
+            .map(|i| engine.submit(feature_request(i, 500 + i)).unwrap())
+            .collect();
+        engine.shutdown(); // must answer the queued six, not strand them
+        for (i, t) in tickets.into_iter().enumerate() {
+            assert_eq!(t.wait().unwrap().id, i as u64);
+        }
+    }
+}

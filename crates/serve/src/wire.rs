@@ -1,0 +1,276 @@
+//! The JSONL wire format used by `snia serve`.
+//!
+//! One request per line. Two shapes, matching the two bundle kinds:
+//!
+//! ```text
+//! {"id": 0, "features": [0.1, 0.2, ...]}
+//! {"id": 1, "images": [ ...5·crop·crop pixels... ], "dates": [d1,d2,d3,d4,d5]}
+//! ```
+//!
+//! Each answered request becomes one output line, in input order:
+//!
+//! ```text
+//! {"id": 0, "score": 0.93}
+//! ```
+//!
+//! [`serve_lines`] streams a reader through an [`Engine`], pipelining up
+//! to the engine's queue capacity. When the engine sheds a submission
+//! with [`ServeError::Overloaded`], the driver waits out the oldest
+//! in-flight ticket (draining its answer) and retries — backpressure
+//! propagates to the input stream instead of dropping requests.
+
+use std::collections::VecDeque;
+use std::io::{self, BufRead, Write};
+use std::time::Instant;
+
+use serde::Value;
+
+use crate::engine::{Engine, Request, RequestInput, Response, ServeError, Ticket};
+
+/// Errors from streaming JSONL through the engine.
+#[derive(Debug)]
+pub enum WireError {
+    /// Reading the input or writing the output failed.
+    Io(io::Error),
+    /// An input line is not a valid request.
+    Parse {
+        /// 1-based input line number.
+        line: usize,
+        /// What was wrong with it.
+        reason: String,
+    },
+    /// The engine rejected a request (bad shape or shutdown).
+    Serve(ServeError),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "serve i/o error: {e}"),
+            WireError::Parse { line, reason } => {
+                write!(f, "bad request on line {line}: {reason}")
+            }
+            WireError::Serve(e) => write!(f, "serve error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            WireError::Serve(e) => Some(e),
+            WireError::Parse { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for WireError {
+    fn from(e: io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+fn f32_array(v: &Value, key: &str) -> Result<Vec<f32>, String> {
+    let arr = v
+        .get(key)
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("\"{key}\" must be an array of numbers"))?;
+    arr.iter()
+        .map(|x| {
+            x.as_f64()
+                .map(|f| f as f32)
+                .ok_or_else(|| format!("\"{key}\" must contain only numbers"))
+        })
+        .collect()
+}
+
+/// Parses one JSONL request line.
+///
+/// # Errors
+///
+/// Returns a human-readable reason when the line is not valid JSON, lacks
+/// a numeric `"id"`, or carries neither `"features"` nor
+/// `"images"`+`"dates"`.
+pub fn parse_request_line(line: &str) -> Result<Request, String> {
+    let value: Value = serde_json::from_str(line).map_err(|e| format!("invalid json: {e}"))?;
+    let id = value
+        .get("id")
+        .and_then(Value::as_u64)
+        .ok_or("missing or non-integer \"id\"")?;
+    let input = if value.get("features").is_some() {
+        RequestInput::Features(f32_array(&value, "features")?)
+    } else if value.get("images").is_some() || value.get("dates").is_some() {
+        RequestInput::Cutouts {
+            images: f32_array(&value, "images")?,
+            dates: f32_array(&value, "dates")?,
+        }
+    } else {
+        return Err("request needs \"features\" or \"images\"+\"dates\"".into());
+    };
+    Ok(Request { id, input })
+}
+
+/// Renders one response as a JSONL line (no trailing newline).
+///
+/// `f64`'s `Display` prints the shortest decimal that round-trips, so the
+/// score survives a parse back into `f64` bit-exactly.
+pub fn response_line(resp: &Response) -> String {
+    format!("{{\"id\":{},\"score\":{}}}", resp.id, resp.score)
+}
+
+/// What a [`serve_lines`] run did.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ServeSummary {
+    /// Requests answered.
+    pub requests: usize,
+    /// Wall-clock time spent.
+    pub elapsed: std::time::Duration,
+    /// `requests / elapsed`.
+    pub requests_per_sec: f64,
+}
+
+fn drain_one(inflight: &mut VecDeque<Ticket>, output: &mut impl Write) -> Result<(), WireError> {
+    let ticket = inflight.pop_front().expect("drain with nothing in flight");
+    let resp = ticket.wait().map_err(WireError::Serve)?;
+    writeln!(output, "{}", response_line(&resp))?;
+    Ok(())
+}
+
+/// Streams JSONL requests from `input` through `engine`, writing one
+/// scored JSONL line per request to `output` in input order. Blank lines
+/// are skipped.
+///
+/// # Errors
+///
+/// Returns the first [`WireError`] encountered; requests already in
+/// flight at that point are abandoned.
+pub fn serve_lines(
+    engine: &Engine,
+    input: impl BufRead,
+    output: &mut impl Write,
+) -> Result<ServeSummary, WireError> {
+    let started = Instant::now();
+    let mut inflight: VecDeque<Ticket> = VecDeque::new();
+    let mut answered = 0usize;
+    for (idx, line) in input.lines().enumerate() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let req = parse_request_line(&line).map_err(|reason| WireError::Parse {
+            line: idx + 1,
+            reason,
+        })?;
+        loop {
+            // submit() takes the request by value and does not hand it
+            // back on rejection, so each attempt gets a clone.
+            match engine.submit(req.clone()) {
+                Ok(ticket) => {
+                    inflight.push_back(ticket);
+                    break;
+                }
+                Err(ServeError::Overloaded { .. }) if !inflight.is_empty() => {
+                    drain_one(&mut inflight, output)?;
+                    answered += 1;
+                }
+                Err(e) => return Err(WireError::Serve(e)),
+            }
+        }
+    }
+    while !inflight.is_empty() {
+        drain_one(&mut inflight, output)?;
+        answered += 1;
+    }
+    let elapsed = started.elapsed();
+    Ok(ServeSummary {
+        requests: answered,
+        elapsed,
+        requests_per_sec: answered as f64 / elapsed.as_secs_f64().max(1e-12),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bundle::ServedModel;
+    use crate::engine::EngineConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use snia_core::LightCurveClassifier;
+    use std::time::Duration;
+
+    #[test]
+    fn parses_both_request_shapes() {
+        let r = parse_request_line("{\"id\": 3, \"features\": [1, 2.5, -0.5]}").unwrap();
+        assert_eq!(r.id, 3);
+        assert_eq!(r.input, RequestInput::Features(vec![1.0, 2.5, -0.5]));
+        let r =
+            parse_request_line("{\"id\": 4, \"images\": [0.1], \"dates\": [1,2,3,4,5]}").unwrap();
+        assert!(matches!(r.input, RequestInput::Cutouts { .. }));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request_line("not json").is_err());
+        assert!(parse_request_line("{\"features\": [1]}").is_err()); // no id
+        assert!(parse_request_line("{\"id\": 1}").is_err()); // no payload
+        assert!(parse_request_line("{\"id\": 1, \"features\": [\"x\"]}").is_err());
+    }
+
+    #[test]
+    fn response_line_round_trips_the_score() {
+        let resp = Response {
+            id: 42,
+            score: 0.123_456_789_012_345_67,
+        };
+        let line = response_line(&resp);
+        let back: Value = serde_json::from_str(&line).unwrap();
+        assert_eq!(back.get("id").and_then(Value::as_u64), Some(42));
+        let score = back.get("score").and_then(Value::as_f64).unwrap();
+        assert_eq!(score.to_bits(), resp.score.to_bits());
+    }
+
+    #[test]
+    fn serve_lines_preserves_order_under_backpressure() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let model = ServedModel::Classifier(LightCurveClassifier::new(1, 8, &mut rng));
+        // A tiny queue forces the Overloaded → drain-oldest → retry path.
+        let engine = Engine::start(
+            model,
+            EngineConfig {
+                max_batch: 4,
+                max_wait: Duration::from_millis(1),
+                queue_cap: 2,
+                workers: 1,
+            },
+        );
+        let mut input = String::new();
+        for i in 0..20 {
+            let feats: Vec<String> = (0..10)
+                .map(|j| format!("{}", (i * 10 + j) as f64 * 0.01))
+                .collect();
+            input.push_str(&format!(
+                "{{\"id\": {i}, \"features\": [{}]}}\n",
+                feats.join(",")
+            ));
+        }
+        input.push('\n'); // blank lines are skipped
+        let mut out = Vec::new();
+        let summary = serve_lines(&engine, input.as_bytes(), &mut out).unwrap();
+        engine.shutdown();
+        assert_eq!(summary.requests, 20);
+        let text = String::from_utf8(out).unwrap();
+        let ids: Vec<u64> = text
+            .lines()
+            .map(|l| {
+                serde_json::from_str::<Value>(l)
+                    .unwrap()
+                    .get("id")
+                    .and_then(Value::as_u64)
+                    .unwrap()
+            })
+            .collect();
+        assert_eq!(ids, (0..20).collect::<Vec<u64>>());
+    }
+}

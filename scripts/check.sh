@@ -30,4 +30,10 @@ fi
 echo "== cargo test =="
 cargo test --workspace -q
 
+# The golden snapshots live in the root package's integration tests, which
+# --workspace already runs; name them explicitly so a default-members
+# change can never silently drop the metric/bit-identity pins.
+echo "== golden suite =="
+cargo test -q --test golden
+
 echo "ALL CHECKS PASSED"

@@ -5,6 +5,7 @@
 //! snia inspect   --sample 0   [--samples N --seed S]       describe one sample
 //! snia render    --sample 0 --obs 5 --out prefix           write ref/obs/diff PGMs
 //! snia classify  [--samples N --seed S --epochs E]         train + evaluate the classifier
+//! snia serve     --model bundle/ [--input req.jsonl]       score JSONL requests
 //! snia help                                                this text
 //! ```
 
@@ -22,6 +23,7 @@ use snia_repro::core::train::{
     classifier_scores, feature_matrix, train_classifier_resilient, ClassifierTrainConfig,
 };
 use snia_repro::dataset::{split_indices, Dataset, DatasetConfig};
+use snia_repro::serve::{serve_lines, Engine, EngineConfig, ModelBundle};
 
 const HELP: &str = "snia — single-epoch supernova classification toolkit
 
@@ -51,7 +53,19 @@ COMMANDS:
                  --fault <spec>  inject faults for resilience testing, e.g.
                                  nan_loss@step=40,panic_worker@epoch=2,kill@epoch=3
                                  (also via SNIA_FAULT)
+                 --export-bundle <dir>    save the trained model as a serve
+                                          bundle (manifest.json + weights.snia)
+                 --export-requests <path> write the test split as JSONL serve
+                                          requests (one {\"id\",\"features\"} per line)
                  --samples/--seed as above
+    serve      score JSONL requests through the batched inference engine
+                 --model <dir>   bundle directory      (required)
+                 --input <path>  request JSONL, - for stdin  (default -)
+                 --out <path>    scored JSONL, - for stdout  (default -)
+                 --workers <n>   worker threads        (default 1)
+                 --max-batch <n> flush threshold       (default 32)
+                 --max-wait-ms <n>  latency budget     (default 2)
+                 --queue-cap <n> backpressure bound    (default 1024)
     export     write all light curves in SNPCC-like text format
                  --out <path>    output file           (default lightcurves.dat)
                  --samples/--seed as above
@@ -230,6 +244,72 @@ fn cmd_classify(flags: &HashMap<String, String>) -> Result<(), String> {
     }
     let scores = classifier_scores(&mut clf, &xe);
     println!("single-epoch test AUC: {:.3}", auc(&scores, &labels));
+    if let Some(dir) = flags.get("export-bundle") {
+        ModelBundle::from_classifier(&clf)
+            .save(dir)
+            .map_err(|e| format!("cannot export bundle to {dir}: {e}"))?;
+        println!("exported model bundle to {dir}/");
+    }
+    if let Some(path) = flags.get("export-requests") {
+        let dim = xe.shape()[1];
+        let mut text = String::new();
+        for (i, row) in xe.data().chunks(dim).enumerate() {
+            let feats: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+            text.push_str(&format!(
+                "{{\"id\":{i},\"features\":[{}]}}\n",
+                feats.join(",")
+            ));
+        }
+        fs::write(path, &text).map_err(|e| format!("cannot write {path}: {e}"))?;
+        println!(
+            "wrote {} serve requests (test split) to {path}",
+            xe.shape()[0]
+        );
+    }
+    Ok(())
+}
+
+fn cmd_serve(flags: &HashMap<String, String>) -> Result<(), String> {
+    let dir = flags
+        .get("model")
+        .ok_or("serve needs --model <bundle dir>")?;
+    let cfg = EngineConfig {
+        max_batch: flag_usize(flags, "max-batch", 32)?.max(1),
+        max_wait: std::time::Duration::from_millis(flag_u64(flags, "max-wait-ms", 2)?),
+        queue_cap: flag_usize(flags, "queue-cap", 1024)?.max(1),
+        workers: flag_usize(flags, "workers", 1)?.max(1),
+    };
+    let bundle = ModelBundle::load(dir).map_err(|e| format!("cannot load bundle {dir}: {e}"))?;
+    let engine = Engine::from_bundle(&bundle, cfg).map_err(|e| e.to_string())?;
+    let input = flags.get("input").map(String::as_str).unwrap_or("-");
+    let out = flags.get("out").map(String::as_str).unwrap_or("-");
+    let summary = {
+        let stdin = std::io::stdin();
+        let reader: Box<dyn std::io::BufRead> = if input == "-" {
+            Box::new(stdin.lock())
+        } else {
+            let f = fs::File::open(input).map_err(|e| format!("cannot open {input}: {e}"))?;
+            Box::new(std::io::BufReader::new(f))
+        };
+        let mut writer: Box<dyn std::io::Write> = if out == "-" {
+            Box::new(std::io::stdout().lock())
+        } else {
+            let f = fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+            Box::new(std::io::BufWriter::new(f))
+        };
+        let summary = serve_lines(&engine, reader, &mut writer).map_err(|e| e.to_string())?;
+        writer.flush().map_err(|e| e.to_string())?;
+        summary
+    };
+    engine.shutdown();
+    eprintln!(
+        "served {} requests in {:.3}s ({:.0} req/s, {} workers, max batch {})",
+        summary.requests,
+        summary.elapsed.as_secs_f64(),
+        summary.requests_per_sec,
+        cfg.workers,
+        cfg.max_batch
+    );
     Ok(())
 }
 
@@ -258,6 +338,7 @@ fn run() -> Result<(), String> {
         "inspect" => cmd_inspect(&flags),
         "render" => cmd_render(&flags),
         "classify" => cmd_classify(&flags),
+        "serve" => cmd_serve(&flags),
         "export" => cmd_export(&flags),
         "help" | "--help" | "-h" => {
             print!("{HELP}");

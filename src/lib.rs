@@ -19,6 +19,9 @@
 //! * [`baselines`] — the Table 2 comparison methods: Bayesian single-epoch
 //!   (Poznanski 2007), template-fit + random forest (Lochner 2016), GRU
 //!   sequences (Charnock & Moss 2016).
+//! * [`serve`] — batched online inference: serialized model bundles, a
+//!   micro-batching engine with latency budgets, and the `snia serve`
+//!   JSONL wire format.
 //!
 //! ## Quickstart
 //!
@@ -48,4 +51,5 @@ pub use snia_core as core;
 pub use snia_dataset as dataset;
 pub use snia_lightcurve as lightcurve;
 pub use snia_nn as nn;
+pub use snia_serve as serve;
 pub use snia_skysim as skysim;

@@ -1,0 +1,239 @@
+//! Golden end-to-end snapshot tests.
+//!
+//! Two pins:
+//!
+//! 1. A fixed-seed tiny pipeline (dataset → train → eval) must reproduce
+//!    the metrics checked in at `tests/golden/pipeline.json` within
+//!    tolerance. Regenerate after an intentional numeric change with
+//!    `SNIA_GOLDEN_REGEN=1 cargo test --test golden`.
+//! 2. The serve engine must score *bit-identically* to direct forward
+//!    inference for every request in the golden set, at batch sizes
+//!    {1, 7, 32} and across worker replicas — batching is a throughput
+//!    optimisation and must never change an answer.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use snia_repro::core::classifier::LightCurveClassifier;
+use snia_repro::core::eval::auc;
+use snia_repro::core::joint::JointModel;
+use snia_repro::core::train::{
+    classifier_loss_acc, classifier_scores, feature_matrix, joint_batch, joint_examples,
+    train_classifier, ClassifierTrainConfig,
+};
+use snia_repro::dataset::{split_indices, Dataset, DatasetConfig};
+use snia_repro::nn::loss::sigmoid_probs;
+use snia_repro::nn::{Mode, Tensor};
+use snia_repro::serve::{Engine, EngineConfig, ModelBundle, Request, RequestInput};
+
+const SEED: u64 = 42;
+const SAMPLES: usize = 80;
+const EPOCHS: usize = 3;
+const HIDDEN: usize = 16;
+
+#[derive(Debug, Serialize, Deserialize)]
+struct GoldenPipeline {
+    final_train_loss: f64,
+    final_val_loss: f64,
+    final_val_acc: f64,
+    test_loss: f64,
+    test_acc: f64,
+    test_auc: f64,
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden")
+        .join(name)
+}
+
+/// The fixed-seed tiny pipeline every golden assertion runs against.
+fn run_pipeline() -> (LightCurveClassifier, Tensor, Vec<bool>, GoldenPipeline) {
+    let ds = Dataset::generate(&DatasetConfig {
+        n_samples: SAMPLES,
+        catalog_size: (SAMPLES * 4).max(200),
+        seed: SEED,
+    });
+    let (tr, va, te) = split_indices(ds.len(), SEED);
+    let (xt, tt, _) = feature_matrix(&ds, &tr, 1);
+    let (xv, tv, _) = feature_matrix(&ds, &va, 1);
+    let (xe, tte, labels) = feature_matrix(&ds, &te, 1);
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xC1A551F7);
+    let mut clf = LightCurveClassifier::new(1, HIDDEN, &mut rng);
+    let history = train_classifier(
+        &mut clf,
+        (&xt, &tt),
+        (&xv, &tv),
+        &ClassifierTrainConfig {
+            epochs: EPOCHS,
+            batch_size: 64,
+            lr: 3e-3,
+            seed: SEED,
+            threads: 1,
+        },
+    );
+    let last = history.last().expect("trained at least one epoch");
+    let (test_loss, test_acc) = classifier_loss_acc(&mut clf, &xe, &tte);
+    let scores = classifier_scores(&mut clf, &xe);
+    let metrics = GoldenPipeline {
+        final_train_loss: last.train_loss,
+        final_val_loss: last.val_loss,
+        final_val_acc: last.val_acc,
+        test_loss,
+        test_acc,
+        test_auc: auc(&scores, &labels),
+    };
+    (clf, xe, labels, metrics)
+}
+
+#[test]
+fn pipeline_metrics_match_golden_snapshot() {
+    let (_, _, _, got) = run_pipeline();
+    let path = golden_path("pipeline.json");
+    if std::env::var("SNIA_GOLDEN_REGEN").is_ok() {
+        let json = serde_json::to_string_pretty(&got).expect("serialize golden metrics");
+        std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden");
+        std::fs::write(&path, format!("{json}\n")).expect("write golden file");
+        eprintln!("regenerated {}", path.display());
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "cannot read {} ({e}); regenerate with SNIA_GOLDEN_REGEN=1",
+            path.display()
+        )
+    });
+    let want: GoldenPipeline = serde_json::from_str(&text).expect("parse golden file");
+    // Losses drift with any legitimate numeric change at ~1e-3; these
+    // tolerances catch real regressions (shuffled RNG streams, changed
+    // initialisation, broken layers) without flaking on the last ulp.
+    let close = |got: f64, want: f64, tol: f64, what: &str| {
+        assert!(
+            (got - want).abs() <= tol,
+            "{what}: got {got}, golden {want} (tol {tol})"
+        );
+    };
+    close(
+        got.final_train_loss,
+        want.final_train_loss,
+        1e-2,
+        "train loss",
+    );
+    close(got.final_val_loss, want.final_val_loss, 1e-2, "val loss");
+    close(got.final_val_acc, want.final_val_acc, 2e-2, "val accuracy");
+    close(got.test_loss, want.test_loss, 1e-2, "test loss");
+    close(got.test_acc, want.test_acc, 2e-2, "test accuracy");
+    close(got.test_auc, want.test_auc, 2e-2, "test AUC");
+}
+
+/// Serve scores must be bit-identical to a direct forward call whatever
+/// the batch size — the acceptance criterion for the engine.
+#[test]
+fn serve_scores_are_bit_identical_to_direct_inference() {
+    let (mut clf, xe, _, _) = run_pipeline();
+    let direct = classifier_scores(&mut clf, &xe);
+    let dim = xe.shape()[1];
+    let requests: Vec<Request> = xe
+        .data()
+        .chunks(dim)
+        .enumerate()
+        .map(|(i, row)| Request {
+            id: i as u64,
+            input: RequestInput::Features(row.to_vec()),
+        })
+        .collect();
+    let bundle = ModelBundle::from_classifier(&clf);
+    for max_batch in [1, 7, 32] {
+        let engine = Engine::from_bundle(
+            &bundle,
+            EngineConfig {
+                max_batch,
+                max_wait: Duration::from_millis(1),
+                queue_cap: requests.len() + 1,
+                workers: 2,
+            },
+        )
+        .expect("bundle instantiates");
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|r| engine.submit(r.clone()).expect("queue has room"))
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let resp = ticket.wait().expect("engine answers");
+            assert_eq!(resp.id, i as u64);
+            assert_eq!(
+                resp.score.to_bits(),
+                direct[i].to_bits(),
+                "request {i} differs at max_batch {max_batch}: engine {} vs direct {}",
+                resp.score,
+                direct[i]
+            );
+        }
+        engine.shutdown();
+    }
+}
+
+/// The same pin for the joint image model: serve scores equal direct
+/// `core::joint` forward calls bit-for-bit.
+#[test]
+fn serve_joint_scores_match_direct_forward_calls() {
+    const CROP: usize = 36;
+    let ds = Dataset::generate(&DatasetConfig {
+        n_samples: 6,
+        catalog_size: 200,
+        seed: SEED,
+    });
+    let idx: Vec<usize> = (0..ds.len()).collect();
+    let examples = joint_examples(&idx);
+    let examples = &examples[..12];
+    let (images, dates, _, _) = joint_batch(&ds, examples, CROP);
+    let mut rng = StdRng::seed_from_u64(SEED);
+    let mut jm = JointModel::from_scratch(CROP, 8, &mut rng);
+    let logits = jm.forward(&images, &dates, Mode::Eval);
+    let direct: Vec<f64> = sigmoid_probs(&logits)
+        .data()
+        .iter()
+        .map(|&p| f64::from(p))
+        .collect();
+
+    let ilen = 5 * CROP * CROP;
+    let requests: Vec<Request> = (0..examples.len())
+        .map(|i| Request {
+            id: i as u64,
+            input: RequestInput::Cutouts {
+                images: images.data()[i * ilen..(i + 1) * ilen].to_vec(),
+                dates: dates.data()[i * 5..(i + 1) * 5].to_vec(),
+            },
+        })
+        .collect();
+    let bundle = ModelBundle::from_joint(&jm);
+    for max_batch in [1, 7, 32] {
+        let engine = Engine::from_bundle(
+            &bundle,
+            EngineConfig {
+                max_batch,
+                max_wait: Duration::from_millis(1),
+                queue_cap: requests.len() + 1,
+                workers: 2,
+            },
+        )
+        .expect("bundle instantiates");
+        let tickets: Vec<_> = requests
+            .iter()
+            .map(|r| engine.submit(r.clone()).expect("queue has room"))
+            .collect();
+        for (i, ticket) in tickets.into_iter().enumerate() {
+            let resp = ticket.wait().expect("engine answers");
+            assert_eq!(
+                resp.score.to_bits(),
+                direct[i].to_bits(),
+                "joint request {i} differs at max_batch {max_batch}"
+            );
+        }
+        engine.shutdown();
+    }
+}

@@ -133,6 +133,102 @@ proptest! {
     }
 
     #[test]
+    fn roc_curve_invariant_under_permutation_with_ties(
+        raw in prop::collection::vec(0.0f64..1.0, 10..50),
+        labels in prop::collection::vec(any::<bool>(), 10..50),
+        seed in any::<u64>(),
+    ) {
+        let n = raw.len().min(labels.len());
+        // Quantise to five levels so tie groups are guaranteed.
+        let scores: Vec<f64> = raw[..n].iter().map(|s| (s * 5.0).floor() / 5.0).collect();
+        let labels = &labels[..n];
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let curve = roc_curve(&scores, labels);
+        // Fisher–Yates with a cheap LCG: any permutation of the inputs
+        // must yield the identical curve, point for point.
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let p_scores: Vec<f64> = perm.iter().map(|&i| scores[i]).collect();
+        let p_labels: Vec<bool> = perm.iter().map(|&i| labels[i]).collect();
+        prop_assert_eq!(curve, roc_curve(&p_scores, &p_labels));
+    }
+
+    #[test]
+    fn auc_invariant_under_score_order(
+        raw in prop::collection::vec(0.0f64..1.0, 10..50),
+        labels in prop::collection::vec(any::<bool>(), 10..50),
+        seed in any::<u64>(),
+    ) {
+        let n = raw.len().min(labels.len());
+        // Quantised so ties exercise the average-rank correction too.
+        let scores: Vec<f64> = raw[..n].iter().map(|s| (s * 8.0).floor() / 8.0).collect();
+        let labels = &labels[..n];
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let a = auc(&scores, labels);
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut state = seed;
+        for i in (1..n).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            perm.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        let p_scores: Vec<f64> = perm.iter().map(|&i| scores[i]).collect();
+        let p_labels: Vec<bool> = perm.iter().map(|&i| labels[i]).collect();
+        prop_assert!((a - auc(&p_scores, &p_labels)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_matches_pairwise_win_rate(
+        raw in prop::collection::vec(0.0f64..1.0, 8..30),
+        labels in prop::collection::vec(any::<bool>(), 8..30),
+    ) {
+        let n = raw.len().min(labels.len());
+        let scores: Vec<f64> = raw[..n].iter().map(|s| (s * 6.0).floor() / 6.0).collect();
+        let labels = &labels[..n];
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        // The Mann–Whitney definition, brute force: P(s⁺ > s⁻) + ½P(tie).
+        let mut wins = 0.0f64;
+        let mut pairs = 0.0f64;
+        for (sp, _) in scores.iter().zip(labels).filter(|(_, &l)| l) {
+            for (sn, _) in scores.iter().zip(labels).filter(|(_, &l)| !l) {
+                pairs += 1.0;
+                if sp > sn {
+                    wins += 1.0;
+                } else if sp == sn {
+                    wins += 0.5;
+                }
+            }
+        }
+        prop_assert!((auc(&scores, labels) - wins / pairs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_invariant_under_batch_split_evaluation(
+        raw in prop::collection::vec(0.0f64..1.0, 10..40),
+        labels in prop::collection::vec(any::<bool>(), 10..40),
+        reps in 2usize..4,
+    ) {
+        // Scoring the same examples again in later batches (dataset
+        // replication) must not move the rank statistic: AUC depends only
+        // on the score *distribution* per class, not the batch layout.
+        let n = raw.len().min(labels.len());
+        let scores = &raw[..n];
+        let labels = &labels[..n];
+        prop_assume!(labels.iter().any(|&l| l) && labels.iter().any(|&l| !l));
+        let a = auc(scores, labels);
+        let mut rep_scores = Vec::new();
+        let mut rep_labels = Vec::new();
+        for _ in 0..reps {
+            rep_scores.extend_from_slice(scores);
+            rep_labels.extend_from_slice(labels);
+        }
+        prop_assert!((a - auc(&rep_scores, &rep_labels)).abs() < 1e-9);
+    }
+
+    #[test]
     fn accuracy_is_bounded(
         scores in prop::collection::vec(0.0f64..1.0, 5..40),
         labels in prop::collection::vec(any::<bool>(), 5..40),
