@@ -19,6 +19,7 @@
 //! | `fig11`   | Figure 11 — joint-model ROC |
 //! | `fig12`   | Figure 12 — fine-tuning vs. from-scratch curves |
 //! | `ablate`  | DESIGN.md ablations (log stretch, pooling, highway, sharing) |
+//! | `bench_render` | BENCH_render.json — parallel generation + render-cache epochs |
 //! | `bogus`   | extension: real/bogus vetting (Brink 2013 / Morii 2016) |
 //! | `photometry` | extension: classical photometry vs. the flux CNN |
 //! | `followup`  | extension: spectroscopy-budget purity at k |

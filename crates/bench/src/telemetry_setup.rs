@@ -43,7 +43,14 @@ impl Drop for TelemetryGuard {
 
 /// Configures telemetry for an experiment binary (see module docs) and
 /// returns the guard that flushes and summarises on drop.
+///
+/// Also activates the stamp render cache when `--render-cache <dir>` or
+/// `SNIA_RENDER_CACHE` is present, so every experiment binary shares the
+/// flag without per-binary wiring.
 pub fn init_telemetry(experiment: &str) -> TelemetryGuard {
+    if let Some(dir) = snia_core::render_cache_from_env_args() {
+        println!("[render cache at {}]", dir.display());
+    }
     let mut out: Option<PathBuf> = None;
 
     let args: Vec<String> = std::env::args().collect();

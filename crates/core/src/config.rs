@@ -10,6 +10,9 @@
 //! * `SNIA_THREADS=<usize>` — data-parallel training threads (default 1);
 //!   the `--threads N` CLI flag (see [`threads_from_args`]) wins over the
 //!   environment.
+//! * `SNIA_RENDER_CACHE=<dir>` — stamp render cache directory (see
+//!   [`snia_dataset::cache`]); the `--render-cache <dir>` CLI flag (see
+//!   [`render_cache_from_args`]) wins over the environment.
 
 use snia_dataset::DatasetConfig;
 
@@ -139,6 +142,45 @@ pub fn resume_from_env_args() -> Option<std::path::PathBuf> {
     })
 }
 
+/// Parses `--render-cache <dir>` / `--render-cache=<dir>` from an
+/// argument stream; `None` when absent or malformed.
+pub fn render_cache_from_args<I: IntoIterator<Item = String>>(
+    args: I,
+) -> Option<std::path::PathBuf> {
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        if arg == "--render-cache" {
+            return iter.next().filter(|v| !v.is_empty()).map(Into::into);
+        }
+        if let Some(v) = arg.strip_prefix("--render-cache=") {
+            return (!v.is_empty()).then(|| v.into());
+        }
+    }
+    None
+}
+
+/// Resolves the render-cache directory from CLI arguments
+/// (`--render-cache <dir>`, which wins) or the `SNIA_RENDER_CACHE`
+/// environment variable, and activates
+/// [`snia_dataset::cache`] when one is present. Returns the directory in
+/// use, `None` when the cache stays disabled or the directory cannot be
+/// created (caching is an optimisation, never a hard failure).
+pub fn render_cache_from_env_args() -> Option<std::path::PathBuf> {
+    let dir = render_cache_from_args(std::env::args().skip(1)).or_else(|| {
+        std::env::var("SNIA_RENDER_CACHE")
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(Into::into)
+    })?;
+    match snia_dataset::cache::configure(Some(&dir)) {
+        Ok(()) => Some(dir),
+        Err(e) => {
+            eprintln!("warning: render cache disabled ({}: {e})", dir.display());
+            None
+        }
+    }
+}
+
 /// Parses `--threads N` / `--threads=N` from an argument stream; `None`
 /// when absent or malformed.
 pub fn threads_from_args<I: IntoIterator<Item = String>>(args: I) -> Option<usize> {
@@ -220,6 +262,21 @@ mod tests {
         assert_eq!(threads_from_args(args(&["--threads"])), None);
         assert_eq!(threads_from_args(args(&["--threads", "zero"])), None);
         assert_eq!(threads_from_args(args(&["--threads", "0"])), None);
+    }
+
+    #[test]
+    fn render_cache_flag_forms() {
+        assert_eq!(
+            render_cache_from_args(args(&["--render-cache", "cache/dir"])),
+            Some(std::path::PathBuf::from("cache/dir"))
+        );
+        assert_eq!(
+            render_cache_from_args(args(&["--threads", "2", "--render-cache=rc"])),
+            Some(std::path::PathBuf::from("rc"))
+        );
+        assert_eq!(render_cache_from_args(args(&[])), None);
+        assert_eq!(render_cache_from_args(args(&["--render-cache"])), None);
+        assert_eq!(render_cache_from_args(args(&["--render-cache="])), None);
     }
 
     #[test]

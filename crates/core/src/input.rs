@@ -12,11 +12,22 @@ pub const MAG_RANGE: (f64, f64) = (18.0, 30.0);
 ///
 /// The same normalisation as the classifier's magnitude features, so the
 /// CNN output can be fed to the classifier unchanged in the joint model.
+///
+/// The clamp makes this map **lossy**: every magnitude outside
+/// [`MAG_RANGE`] saturates to the nearest bound (non-finite inputs
+/// included), so [`target_to_mag`] can only undo it inside the range.
 pub fn mag_to_target(mag: f64) -> f32 {
     ((mag.clamp(MAG_RANGE.0, MAG_RANGE.1) - 24.0) / 4.0) as f32
 }
 
-/// Inverse of [`mag_to_target`].
+/// Maps a regression target back to a magnitude: `target × 4 + 24`.
+///
+/// This inverts [`mag_to_target`] **only for magnitudes inside
+/// [`MAG_RANGE`]** (up to `f32` rounding). Outside the range the forward
+/// map clamps, so the round trip returns the violated bound, not the
+/// original magnitude — `target_to_mag(mag_to_target(35.0)) == 30.0`.
+/// Network outputs are not clamped here: a prediction outside the range
+/// maps to a magnitude outside the range.
 pub fn target_to_mag(target: f32) -> f64 {
     f64::from(target) * 4.0 + 24.0
 }
@@ -174,6 +185,39 @@ mod tests {
         assert_eq!(xb.shape(), &[2, 1, 44, 44]);
         assert_eq!(tb.shape(), &[2, 1]);
         assert!(xb.all_finite() && tb.all_finite());
+    }
+
+    #[test]
+    fn preprocess_crop_keeps_the_stamp_centre_pixel() {
+        // 65 → 60 is the paper's even-on-odd crop: the stamp centre pixel
+        // (32, 32) must survive at (30, 30) = crop/2 (top-left-wins
+        // parity, see `Image::crop_center`).
+        let ds = Dataset::generate(&DatasetConfig {
+            n_samples: 1,
+            catalog_size: 30,
+            seed: 33,
+        });
+        let p = ds.samples[0].flux_pair(2);
+        let full = p.observation.subtract(&p.reference).log_stretch();
+        let centre = snia_skysim::STAMP_SIZE / 2;
+        for crop in [60, 61] {
+            let img = preprocess(&p.reference, &p.observation, crop);
+            let out = centre - (snia_skysim::STAMP_SIZE - crop) / 2;
+            assert_eq!(
+                img.get(out, out),
+                full.get(centre, centre),
+                "crop {crop} lost the stamp centre pixel"
+            );
+            // 60 (even) keeps it at crop/2; 61 (odd) at (crop−1)/2.
+            assert_eq!(
+                out,
+                if crop % 2 == 0 {
+                    crop / 2
+                } else {
+                    (crop - 1) / 2
+                }
+            );
+        }
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub mod resilience;
 pub mod train;
 
 pub use classifier::LightCurveClassifier;
-pub use config::{resume_from_args, resume_from_env_args, ConfigError, ExperimentConfig};
+pub use config::{
+    render_cache_from_args, render_cache_from_env_args, resume_from_args, resume_from_env_args,
+    ConfigError, ExperimentConfig,
+};
 pub use eval::{auc, roc_curve, RocPoint};
 pub use flux_cnn::FluxCnn;
 pub use input::{mag_to_target, pair_to_input, target_to_mag};

@@ -246,23 +246,12 @@ fn sync_values<M: Replica>(dst: &mut M, src: &M) {
     }
 }
 
-/// Splits `0..total` into `shards` contiguous, balanced ranges (the first
-/// `total % shards` ranges get one extra element; trailing ranges may be
-/// empty when `total < shards`).
-pub fn shard_ranges(total: usize, shards: usize) -> Vec<Range<usize>> {
-    assert!(shards > 0);
-    let base = total / shards;
-    let rem = total % shards;
-    let mut start = 0;
-    (0..shards)
-        .map(|i| {
-            let len = base + usize::from(i < rem);
-            let r = start..start + len;
-            start += len;
-            r
-        })
-        .collect()
-}
+/// Splits `0..total` into `shards` contiguous, balanced ranges.
+///
+/// Re-exported from [`snia_dataset::parallel`] — the canonical shard
+/// arithmetic, shared with parallel dataset generation so both sides of
+/// the pipeline split work identically.
+pub use snia_dataset::parallel::shard_ranges;
 
 #[cfg(test)]
 mod tests {

@@ -43,40 +43,28 @@ use crate::train::TrainRecord;
 pub const CHECKPOINT_VERSION: u32 = 1;
 
 // ---------------------------------------------------------------------------
-// CRC-32
+// CRC-32 + framed encoding (canonical implementation: snia_dataset::framing)
 // ---------------------------------------------------------------------------
 
 /// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) of `bytes`.
 ///
-/// Bitwise implementation — checkpoints are written once per epoch, so
-/// table-driven speed is not worth the extra state.
+/// Delegates to [`snia_dataset::framing::crc32`], the canonical
+/// implementation shared with the render-cache stamp store.
 pub fn crc32(bytes: &[u8]) -> u32 {
-    let mut crc = 0xFFFF_FFFFu32;
-    for &b in bytes {
-        crc ^= u32::from(b);
-        for _ in 0..8 {
-            let mask = (crc & 1).wrapping_neg();
-            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
-        }
-    }
-    !crc
+    snia_dataset::framing::crc32(bytes)
 }
-
-// ---------------------------------------------------------------------------
-// Framed encoding
-// ---------------------------------------------------------------------------
 
 /// Frames `body` under a CRC-validated single-line header:
 /// `<magic> v<version> crc32=<hex8> len=<bytes>\n` followed by the raw body.
 ///
-/// [`TrainState`] checkpoints (`SNIA-CKPT`) and `snia-serve` model bundles
-/// (`SNIA-BUNDLE`) share this envelope, so corruption detection behaves
-/// identically for every on-disk artefact the toolkit writes.
+/// [`TrainState`] checkpoints (`SNIA-CKPT`), `snia-serve` model bundles
+/// (`SNIA-BUNDLE`) and render-cache stamps (`SNIA-STAMP`) share this
+/// envelope — the canonical implementation lives in
+/// [`snia_dataset::framing`] (the lowest crate that writes artefacts), so
+/// corruption detection behaves identically for every file the toolkit
+/// writes.
 pub fn encode_framed(magic: &str, version: u32, body: &[u8]) -> Vec<u8> {
-    let crc = crc32(body);
-    let mut out = format!("{magic} v{version} crc32={crc:08x} len={}\n", body.len()).into_bytes();
-    out.extend_from_slice(body);
-    out
+    snia_dataset::framing::encode_framed(magic, version, body)
 }
 
 /// Validates and strips an [`encode_framed`] header, returning the body.
@@ -93,50 +81,15 @@ pub fn decode_framed<'a>(
     version: u32,
     bytes: &'a [u8],
 ) -> Result<&'a [u8], CheckpointError> {
-    let nl = bytes
-        .iter()
-        .position(|&b| b == b'\n')
-        .ok_or(CheckpointError::BadHeader)?;
-    let header = std::str::from_utf8(&bytes[..nl]).map_err(|_| CheckpointError::BadHeader)?;
-    let mut it = header.split_whitespace();
-    if it.next() != Some(magic) {
-        return Err(CheckpointError::BadHeader);
-    }
-    let found_version = it
-        .next()
-        .and_then(|t| t.strip_prefix('v'))
-        .and_then(|v| v.parse::<u32>().ok())
-        .ok_or(CheckpointError::BadHeader)?;
-    if found_version != version {
-        return Err(CheckpointError::Version {
-            found: found_version,
-        });
-    }
-    let expected_crc = it
-        .next()
-        .and_then(|t| t.strip_prefix("crc32="))
-        .and_then(|h| u32::from_str_radix(h, 16).ok())
-        .ok_or(CheckpointError::BadHeader)?;
-    let len = it
-        .next()
-        .and_then(|t| t.strip_prefix("len="))
-        .and_then(|n| n.parse::<usize>().ok())
-        .ok_or(CheckpointError::BadHeader)?;
-    let body = &bytes[nl + 1..];
-    if body.len() != len {
-        return Err(CheckpointError::Truncated {
-            expected: len,
-            found: body.len(),
-        });
-    }
-    let found_crc = crc32(body);
-    if found_crc != expected_crc {
-        return Err(CheckpointError::CrcMismatch {
-            expected: expected_crc,
-            found: found_crc,
-        });
-    }
-    Ok(body)
+    use snia_dataset::framing::FrameError;
+    snia_dataset::framing::decode_framed(magic, version, bytes).map_err(|e| match e {
+        FrameError::BadHeader => CheckpointError::BadHeader,
+        FrameError::Truncated { expected, found } => CheckpointError::Truncated { expected, found },
+        FrameError::CrcMismatch { expected, found } => {
+            CheckpointError::CrcMismatch { expected, found }
+        }
+        FrameError::Version { found } => CheckpointError::Version { found },
+    })
 }
 
 // ---------------------------------------------------------------------------

@@ -18,7 +18,7 @@ use snia_nn::{Mode, Param, Tensor};
 
 use crate::classifier::LightCurveClassifier;
 use crate::flux_cnn::FluxCnn;
-use crate::input::{batch_pairs, mag_to_target, target_to_mag};
+use crate::input::{mag_to_target, target_to_mag};
 use crate::joint::JointModel;
 use crate::parallel::{BatchExecutor, ShardStats};
 use crate::resilience::{CheckpointError, Divergence, Guardian, Resilience};
@@ -195,12 +195,22 @@ pub fn flux_pair_refs(
 }
 
 fn render_flux_batch(ds: &Dataset, refs: &[(usize, usize)], crop: usize) -> (Tensor, Tensor) {
-    let pairs: Vec<_> = refs
-        .iter()
-        .map(|&(si, oi)| ds.samples[si].flux_pair(oi))
-        .collect();
-    let pair_refs: Vec<&_> = pairs.iter().collect();
-    batch_pairs(&pair_refs, crop)
+    assert!(!refs.is_empty(), "empty batch");
+    let n = refs.len();
+    let mut x = Vec::with_capacity(n * crop * crop);
+    let mut t = Vec::with_capacity(n);
+    for &(si, oi) in refs {
+        let s = &ds.samples[si];
+        // Through the render cache when one is configured; a hit returns
+        // the same bytes `batch_pairs` would have preprocessed.
+        x.extend_from_slice(&snia_dataset::cache::stamp_pixels(s, oi, crop, true));
+        let (band, mjd) = s.schedule.observations[oi];
+        t.push(mag_to_target(s.true_mag(band, mjd)));
+    }
+    (
+        Tensor::from_vec(vec![n, 1, crop, crop], x),
+        Tensor::from_vec(vec![n, 1], t),
+    )
 }
 
 /// Trains the flux CNN with Adam + MSE on normalised magnitudes, returning
@@ -684,14 +694,10 @@ pub fn joint_batch(
     let mut labels = Vec::with_capacity(n);
     for ex in examples {
         let s: &SampleSpec = &ds.samples[ex.sample];
-        let pairs = s.epoch_pairs(ex.epoch);
-        for p in &pairs {
-            images.extend(
-                crate::input::preprocess(&p.reference, &p.observation, crop)
-                    .data()
-                    .iter()
-                    .copied(),
-            );
+        for oi in s.epoch_obs_indices(ex.epoch) {
+            // Same pixels `preprocess` on `epoch_pairs` would produce,
+            // served through the render cache when one is configured.
+            images.extend_from_slice(&snia_dataset::cache::stamp_pixels(s, oi, crop, true));
         }
         let fv = epoch_features(s, ex.epoch);
         let input = fv.to_input();
@@ -929,6 +935,23 @@ mod tests {
         let refs = flux_pair_refs(&ds, &[0, 1, 2], 3, 1);
         assert_eq!(refs.len(), 9);
         assert!(refs.iter().all(|&(si, oi)| si < 3 && oi < 20));
+    }
+
+    #[test]
+    fn render_flux_batch_matches_batch_pairs() {
+        // The cache-capable path must produce the exact tensors the
+        // image-level `batch_pairs` path does.
+        let ds = tiny_ds();
+        let refs = [(0usize, 0usize), (1, 5), (2, 19)];
+        let (x, t) = render_flux_batch(&ds, &refs, 36);
+        let pairs: Vec<_> = refs
+            .iter()
+            .map(|&(si, oi)| ds.samples[si].flux_pair(oi))
+            .collect();
+        let pair_refs: Vec<&_> = pairs.iter().collect();
+        let (xp, tp) = crate::input::batch_pairs(&pair_refs, 36);
+        assert_eq!(x.data(), xp.data());
+        assert_eq!(t.data(), tp.data());
     }
 
     #[test]

@@ -8,8 +8,9 @@ use snia_lightcurve::priors::{sample_non_ia_type, sample_params};
 use snia_lightcurve::SnType;
 use snia_skysim::{GalaxyCatalog, ObservingConditions, STAMP_SIZE};
 
+use crate::parallel::shard_ranges;
 use crate::schedule::ObservationSchedule;
-use crate::spec::SampleSpec;
+use crate::spec::{mix_seed, SampleSpec};
 
 /// Season start MJD used for all samples (arbitrary epoch; schedules add
 /// their own per-sample cadence jitter).
@@ -66,28 +67,71 @@ impl Dataset {
     /// parameters at the host's photo-z, a campaign schedule, per-epoch
     /// conditions and a supernova position inside the host's ellipse.
     ///
+    /// Equivalent to [`Dataset::generate_with_threads`] with one thread.
+    ///
     /// # Panics
     ///
     /// Panics if the configuration is degenerate (zero samples or catalog).
     pub fn generate(config: &DatasetConfig) -> Self {
+        Self::generate_with_threads(config, 1)
+    }
+
+    /// Generates a dataset across `threads` worker threads.
+    ///
+    /// Each sample draws from its **own counter-based RNG stream**, seeded
+    /// by mixing the master seed with the sample id through a splitmix64
+    /// finalizer ([`mix_seed`], the same derivation the render-noise
+    /// streams use). No RNG state flows between samples, so the result is
+    /// a pure function of `(config, id)` and bit-identical for any thread
+    /// count — workers shard the id range with [`shard_ranges`] and the
+    /// shards are reassembled in id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (zero samples or
+    /// catalog) or a worker thread panics.
+    pub fn generate_with_threads(config: &DatasetConfig, threads: usize) -> Self {
+        let threads = threads.max(1);
         let _span = snia_telemetry::span!(
             "dataset.generate",
             n_samples = config.n_samples,
             catalog_size = config.catalog_size,
             seed = config.seed,
+            threads = threads,
         );
         assert!(config.n_samples > 0, "need at least one sample");
         assert!(config.catalog_size > 0, "need a non-empty catalog");
         let catalog = GalaxyCatalog::generate(config.catalog_size, config.seed);
-        let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(1));
-        let samples = (0..config.n_samples)
-            .map(|i| Self::generate_sample(i as u64, &catalog, &mut rng))
-            .collect();
+        let seed = config.seed;
+        let samples = if threads == 1 {
+            (0..config.n_samples)
+                .map(|i| Self::generate_sample(seed, i as u64, &catalog))
+                .collect()
+        } else {
+            let catalog_ref = &catalog;
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = shard_ranges(config.n_samples, threads)
+                    .into_iter()
+                    .map(|range| {
+                        scope.spawn(move || {
+                            range
+                                .map(|i| Self::generate_sample(seed, i as u64, catalog_ref))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("dataset generation worker panicked"))
+                    .collect()
+            })
+        };
         snia_telemetry::counter_add("dataset.samples_total", config.n_samples as u64);
         Dataset { catalog, samples }
     }
 
-    fn generate_sample(id: u64, catalog: &GalaxyCatalog, rng: &mut StdRng) -> SampleSpec {
+    fn generate_sample(master_seed: u64, id: u64, catalog: &GalaxyCatalog) -> SampleSpec {
+        let rng = &mut StdRng::seed_from_u64(mix_seed(master_seed, id));
         let galaxy = *catalog.sample(rng);
         let sn_type = if id.is_multiple_of(2) {
             SnType::Ia
@@ -172,6 +216,40 @@ mod tests {
             seed: 5,
         };
         assert_eq!(Dataset::generate(&cfg), Dataset::generate(&cfg));
+    }
+
+    #[test]
+    fn thread_count_does_not_change_the_dataset() {
+        let cfg = DatasetConfig {
+            n_samples: 13,
+            catalog_size: 80,
+            seed: 21,
+        };
+        let sequential = Dataset::generate(&cfg);
+        for threads in [2, 4, 9, 32] {
+            assert_eq!(
+                Dataset::generate_with_threads(&cfg, threads),
+                sequential,
+                "threads={threads} must be bit-identical to threads=1"
+            );
+        }
+    }
+
+    #[test]
+    fn samples_are_independent_of_generation_order() {
+        // Per-sample RNG streams: sample 5 of an 10-sample dataset equals
+        // sample 5 of a 6-sample dataset with the same seed.
+        let big = Dataset::generate(&DatasetConfig {
+            n_samples: 10,
+            catalog_size: 60,
+            seed: 33,
+        });
+        let small = Dataset::generate(&DatasetConfig {
+            n_samples: 6,
+            catalog_size: 60,
+            seed: 33,
+        });
+        assert_eq!(big.samples[..6], small.samples[..]);
     }
 
     #[test]

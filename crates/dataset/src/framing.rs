@@ -1,0 +1,200 @@
+//! CRC-framed byte envelopes shared by every on-disk artefact.
+//!
+//! The canonical implementation of the `SNIA-*` single-line header format
+//! lives here so both the render cache (this crate) and the higher-level
+//! consumers — `snia_core::resilience` checkpoints (`SNIA-CKPT`) and
+//! `snia-serve` model bundles (`SNIA-BUNDLE`) — validate corruption
+//! identically. `snia_core::resilience::encode_framed`/`decode_framed`
+//! delegate here, so the wire format cannot drift between crates.
+
+/// CRC-32 (IEEE 802.3, reflected polynomial `0xEDB8_8320`) of `bytes`.
+///
+/// Bitwise implementation — framed artefacts are written at most once per
+/// stamp/epoch, so table-driven speed is not worth the extra state.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+/// What went wrong while decoding a framed envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameError {
+    /// The header line is missing, malformed or carries a different magic.
+    BadHeader,
+    /// The body is shorter or longer than the header promised.
+    Truncated {
+        /// Byte count from the header.
+        expected: usize,
+        /// Bytes actually present.
+        found: usize,
+    },
+    /// The body bytes do not match the header checksum.
+    CrcMismatch {
+        /// Checksum from the header.
+        expected: u32,
+        /// Checksum of the bytes on disk.
+        found: u32,
+    },
+    /// The envelope was written by an incompatible format version.
+    Version {
+        /// Version found in the file.
+        found: u32,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadHeader => write!(f, "malformed frame header"),
+            FrameError::Truncated { expected, found } => write!(
+                f,
+                "truncated frame body: header promises {expected} bytes, found {found}"
+            ),
+            FrameError::CrcMismatch { expected, found } => write!(
+                f,
+                "frame CRC mismatch: header {expected:08x}, body {found:08x}"
+            ),
+            FrameError::Version { found } => write!(f, "unsupported frame version v{found}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+/// Frames `body` under a CRC-validated single-line header:
+/// `<magic> v<version> crc32=<hex8> len=<bytes>\n` followed by the raw body.
+pub fn encode_framed(magic: &str, version: u32, body: &[u8]) -> Vec<u8> {
+    let crc = crc32(body);
+    let mut out = format!("{magic} v{version} crc32={crc:08x} len={}\n", body.len()).into_bytes();
+    out.extend_from_slice(body);
+    out
+}
+
+/// Validates and strips an [`encode_framed`] header, returning the body.
+///
+/// # Errors
+///
+/// Returns [`FrameError::BadHeader`] when the header line is missing,
+/// malformed or carries a different magic, [`FrameError::Version`] on a
+/// version mismatch, [`FrameError::Truncated`] when the body length
+/// disagrees with the header, and [`FrameError::CrcMismatch`] when the
+/// body fails its checksum.
+pub fn decode_framed<'a>(
+    magic: &str,
+    version: u32,
+    bytes: &'a [u8],
+) -> Result<&'a [u8], FrameError> {
+    let nl = bytes
+        .iter()
+        .position(|&b| b == b'\n')
+        .ok_or(FrameError::BadHeader)?;
+    let header = std::str::from_utf8(&bytes[..nl]).map_err(|_| FrameError::BadHeader)?;
+    let mut it = header.split_whitespace();
+    if it.next() != Some(magic) {
+        return Err(FrameError::BadHeader);
+    }
+    let found_version = it
+        .next()
+        .and_then(|t| t.strip_prefix('v'))
+        .and_then(|v| v.parse::<u32>().ok())
+        .ok_or(FrameError::BadHeader)?;
+    if found_version != version {
+        return Err(FrameError::Version {
+            found: found_version,
+        });
+    }
+    let expected_crc = it
+        .next()
+        .and_then(|t| t.strip_prefix("crc32="))
+        .and_then(|h| u32::from_str_radix(h, 16).ok())
+        .ok_or(FrameError::BadHeader)?;
+    let len = it
+        .next()
+        .and_then(|t| t.strip_prefix("len="))
+        .and_then(|n| n.parse::<usize>().ok())
+        .ok_or(FrameError::BadHeader)?;
+    let body = &bytes[nl + 1..];
+    if body.len() != len {
+        return Err(FrameError::Truncated {
+            expected: len,
+            found: body.len(),
+        });
+    }
+    let found_crc = crc32(body);
+    if found_crc != expected_crc {
+        return Err(FrameError::CrcMismatch {
+            expected: expected_crc,
+            found: found_crc,
+        });
+    }
+    Ok(body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // IEEE CRC-32 of "123456789" is the classic check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn round_trip_preserves_body() {
+        let body = b"hello stamp".to_vec();
+        let framed = encode_framed("SNIA-TEST", 3, &body);
+        assert_eq!(decode_framed("SNIA-TEST", 3, &framed).unwrap(), &body[..]);
+    }
+
+    #[test]
+    fn wrong_magic_is_bad_header() {
+        let framed = encode_framed("SNIA-A", 1, b"x");
+        assert_eq!(
+            decode_framed("SNIA-B", 1, &framed),
+            Err(FrameError::BadHeader)
+        );
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let framed = encode_framed("SNIA-T", 2, b"x");
+        assert_eq!(
+            decode_framed("SNIA-T", 1, &framed),
+            Err(FrameError::Version { found: 2 })
+        );
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let mut framed = encode_framed("SNIA-T", 1, b"abcdef");
+        framed.truncate(framed.len() - 2);
+        assert!(matches!(
+            decode_framed("SNIA-T", 1, &framed),
+            Err(FrameError::Truncated {
+                expected: 6,
+                found: 4
+            })
+        ));
+    }
+
+    #[test]
+    fn single_byte_corruption_is_detected() {
+        let body = b"stamp pixels".to_vec();
+        let mut framed = encode_framed("SNIA-T", 1, &body);
+        let last = framed.len() - 1;
+        framed[last] ^= 0x40;
+        assert!(matches!(
+            decode_framed("SNIA-T", 1, &framed),
+            Err(FrameError::CrcMismatch { .. })
+        ));
+    }
+}

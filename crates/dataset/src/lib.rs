@@ -31,14 +31,19 @@
 
 pub mod bogus;
 pub mod builder;
+pub mod cache;
 pub mod export;
 pub mod features;
+pub mod framing;
+pub mod parallel;
 pub mod schedule;
 pub mod spec;
 pub mod splits;
 
 pub use builder::{Dataset, DatasetConfig};
+pub use cache::{render_stamp, stamp_key, stamp_pixels, CacheStats};
 pub use features::{epoch_features, FeatureVector, MAG_FAINT_LIMIT};
+pub use framing::{decode_framed, encode_framed, FrameError};
 pub use schedule::{ObservationSchedule, EPOCHS_PER_BAND};
 pub use spec::{FluxPair, SampleSpec};
 pub use splits::{split_indices, Split};

@@ -1,0 +1,55 @@
+//! Shard arithmetic shared by dataset generation and the training-side
+//! batch executor.
+//!
+//! The canonical [`shard_ranges`] lives here (the lowest crate that fans
+//! work out); `snia_core::parallel` re-exports it so the training loops
+//! and [`crate::builder::Dataset::generate_with_threads`] split work with
+//! the exact same arithmetic — one contract, one implementation.
+
+use std::ops::Range;
+
+/// Splits `0..total` into `shards` contiguous, balanced ranges (the first
+/// `total % shards` ranges get one extra element; trailing ranges may be
+/// empty when `total < shards`).
+///
+/// # Panics
+///
+/// Panics if `shards == 0`.
+pub fn shard_ranges(total: usize, shards: usize) -> Vec<Range<usize>> {
+    assert!(shards > 0);
+    let base = total / shards;
+    let rem = total % shards;
+    let mut start = 0;
+    (0..shards)
+        .map(|i| {
+            let len = base + usize::from(i < rem);
+            let r = start..start + len;
+            start += len;
+            r
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_are_balanced_and_cover() {
+        assert_eq!(shard_ranges(10, 3), vec![0..4, 4..7, 7..10]);
+        assert_eq!(shard_ranges(4, 4), vec![0..1, 1..2, 2..3, 3..4]);
+        assert_eq!(shard_ranges(2, 4), vec![0..1, 1..2, 2..2, 2..2]);
+        assert_eq!(shard_ranges(0, 2), vec![0..0, 0..0]);
+    }
+
+    #[test]
+    fn concatenated_ranges_reconstruct_the_input() {
+        for total in [0usize, 1, 7, 100] {
+            for shards in [1usize, 2, 3, 8] {
+                let all: Vec<usize> = shard_ranges(total, shards).into_iter().flatten().collect();
+                let want: Vec<usize> = (0..total).collect();
+                assert_eq!(all, want, "total {total} shards {shards}");
+            }
+        }
+    }
+}

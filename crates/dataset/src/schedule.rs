@@ -154,4 +154,42 @@ mod tests {
     fn epoch_set_out_of_range_panics() {
         sched(7).epoch_set(EPOCHS_PER_BAND);
     }
+
+    /// The paper's schedule contract (Section 3): "no more than 2 band
+    /// images are taken on the same day and every band has 4 observations
+    /// in total". The generator claims this for *every* seed; check the
+    /// full invariant set across many RNG streams, not one lucky draw.
+    #[test]
+    fn paper_invariants_hold_for_many_seeds() {
+        for seed in 0..250u64 {
+            let s = sched(seed);
+            // 5 bands × 4 epochs.
+            assert_eq!(s.observations.len(), Band::ALL.len() * EPOCHS_PER_BAND);
+            for b in Band::ALL {
+                assert_eq!(
+                    s.epochs_of(b).len(),
+                    EPOCHS_PER_BAND,
+                    "seed {seed}: band {b} epoch count"
+                );
+            }
+            // ≤ 2 images per night, and never the same band twice.
+            let mut by_night: std::collections::HashMap<u64, Vec<Band>> = Default::default();
+            for &(band, mjd) in &s.observations {
+                by_night.entry(mjd.to_bits()).or_default().push(band);
+            }
+            for (night, bands) in &by_night {
+                assert!(
+                    bands.len() <= 2,
+                    "seed {seed}: night {night:x} has {} images",
+                    bands.len()
+                );
+                if bands.len() == 2 {
+                    assert_ne!(bands[0], bands[1], "seed {seed}: duplicate band on a night");
+                }
+            }
+            // Time-ordered observations inside the season.
+            assert!(s.observations.windows(2).all(|w| w[0].1 <= w[1].1));
+            assert!(s.reference_mjd < s.season_start, "seed {seed}");
+        }
+    }
 }

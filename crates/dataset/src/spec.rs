@@ -56,7 +56,11 @@ pub struct FluxPair {
 }
 
 /// Mixes a sample seed with a render-slot tag (splitmix64 finalizer).
-fn mix_seed(base: u64, tag: u64) -> u64 {
+///
+/// Also used by [`crate::builder`] to derive the per-sample RNG streams
+/// (`mix_seed(master_seed, sample_id)`) that make parallel generation
+/// order-independent.
+pub(crate) fn mix_seed(base: u64, tag: u64) -> u64 {
     let mut z = base ^ tag.wrapping_mul(0x9E37_79B9_7F4A_7C15);
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
@@ -176,6 +180,28 @@ impl SampleSpec {
         }
     }
 
+    /// Indices into `schedule.observations` of single-epoch set `k` (the
+    /// `k`-th visit of every band), in band order. The cached render path
+    /// uses these directly so cached and pair-based callers agree on which
+    /// observation each epoch slot means.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k >= EPOCHS_PER_BAND`.
+    pub fn epoch_obs_indices(&self, k: usize) -> Vec<usize> {
+        self.schedule
+            .epoch_set(k)
+            .iter()
+            .map(|&(band, mjd)| {
+                self.schedule
+                    .observations
+                    .iter()
+                    .position(|&(b, m)| b == band && m == mjd)
+                    .expect("epoch_set entry must exist in schedule")
+            })
+            .collect()
+    }
+
     /// All five flux pairs of single-epoch set `k` (the `k`-th visit of
     /// every band), in band order.
     ///
@@ -183,18 +209,9 @@ impl SampleSpec {
     ///
     /// Panics if `k >= EPOCHS_PER_BAND`.
     pub fn epoch_pairs(&self, k: usize) -> Vec<FluxPair> {
-        let wanted = self.schedule.epoch_set(k);
-        wanted
-            .iter()
-            .map(|&(band, mjd)| {
-                let idx = self
-                    .schedule
-                    .observations
-                    .iter()
-                    .position(|&(b, m)| b == band && m == mjd)
-                    .expect("epoch_set entry must exist in schedule");
-                self.flux_pair(idx)
-            })
+        self.epoch_obs_indices(k)
+            .into_iter()
+            .map(|idx| self.flux_pair(idx))
             .collect()
     }
 
@@ -281,6 +298,22 @@ mod tests {
         let pairs = ds.samples[1].epoch_pairs(0);
         let bands: Vec<Band> = pairs.iter().map(|p| p.band).collect();
         assert_eq!(bands, Band::ALL.to_vec());
+    }
+
+    #[test]
+    fn epoch_obs_indices_agree_with_epoch_pairs() {
+        let ds = tiny();
+        let s = &ds.samples[1];
+        for k in 0..crate::schedule::EPOCHS_PER_BAND {
+            let idxs = s.epoch_obs_indices(k);
+            let pairs = s.epoch_pairs(k);
+            assert_eq!(idxs.len(), pairs.len());
+            for (idx, pair) in idxs.iter().zip(&pairs) {
+                let (band, mjd) = s.schedule.observations[*idx];
+                assert_eq!(band, pair.band);
+                assert_eq!(mjd, pair.mjd);
+            }
+        }
     }
 
     #[test]

@@ -154,6 +154,18 @@ impl Image {
 
     /// Crops a centred square region of `size` pixels.
     ///
+    /// **Parity contract.** The crop origin is `⌊(dim − size) / 2⌋`. When
+    /// `dim − size` is odd a perfectly centred window does not exist on
+    /// the pixel grid; the floor means the **top-left wins** — one fewer
+    /// row/column is discarded above/left of the window than below/right.
+    /// Every output pixel is a pure copy of an input pixel (a choice of
+    /// window, never a resample), and the input's centre pixel
+    /// `(⌊(dim−1)/2⌋, ⌊(dim−1)/2⌋)` always survives, landing at output
+    /// index `size/2` for an even crop of an odd stamp (e.g. 65→60) and
+    /// at `⌊(size−1)/2⌋` in every other parity combination (e.g. 65→61,
+    /// 64→63). Pinned by the `crop_center_*` tests below and by the
+    /// preprocessing centre-pixel test in `snia-core`.
+    ///
     /// # Panics
     ///
     /// Panics if `size` exceeds either dimension or is zero.
@@ -279,6 +291,47 @@ mod tests {
     fn crop_center_full_size_is_identity() {
         let img = Image::from_vec(3, 3, (0..9).map(|i| i as f32).collect());
         assert_eq!(img.crop_center(3), img);
+    }
+
+    /// An image whose pixel values encode their (x, y) coordinates, so a
+    /// crop's provenance is readable off the output values.
+    fn coordinate_image(dim: usize) -> Image {
+        Image::from_vec(dim, dim, (0..dim * dim).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn crop_center_even_on_odd_keeps_top_left() {
+        // 5 → 2: slack is 3, origin ⌊3/2⌋ = 1 — one row/col discarded on
+        // the top/left, two on the bottom/right.
+        let img = coordinate_image(5);
+        let c = img.crop_center(2);
+        assert_eq!(c.data(), &[6.0, 7.0, 11.0, 12.0]);
+        // The input centre pixel (2,2) = 12 survives at output size/2 = 1.
+        assert_eq!(c.get(1, 1), 12.0);
+
+        // The paper's geometry: 65 → 60 keeps the stamp centre at 60/2.
+        let stamp = coordinate_image(65);
+        let cropped = stamp.crop_center(60);
+        assert_eq!(cropped.get(30, 30), stamp.get(32, 32));
+    }
+
+    #[test]
+    fn crop_center_odd_on_even_keeps_top_left() {
+        // 4 → 3: slack is 1, origin 0 — the discarded row/col is the last.
+        let img = coordinate_image(4);
+        let c = img.crop_center(3);
+        assert_eq!(c.data(), &[0.0, 1.0, 2.0, 4.0, 5.0, 6.0, 8.0, 9.0, 10.0]);
+        // The upper-left centre pixel (1,1) = 5 sits at (size−1)/2 = 1.
+        assert_eq!(c.get(1, 1), 5.0);
+    }
+
+    #[test]
+    fn crop_center_same_parity_is_exactly_centred() {
+        // 5 → 3: slack 2, symmetric — one row/col off every side.
+        let img = coordinate_image(5);
+        let c = img.crop_center(3);
+        assert_eq!(c.get(1, 1), img.get(2, 2));
+        assert_eq!(c.data()[0], img.get(1, 1));
     }
 
     #[test]

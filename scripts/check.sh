@@ -36,4 +36,10 @@ cargo test --workspace -q
 echo "== golden suite =="
 cargo test -q --test golden
 
+# Likewise the property suite: the preprocessing-correctness pins added
+# with the render cache (mag<->target round-trip/saturation, crop-centre
+# survival, schedule invariants) must run even if default-members shift.
+echo "== property suite =="
+cargo test -q --test properties
+
 echo "ALL CHECKS PASSED"

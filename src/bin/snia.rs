@@ -34,6 +34,8 @@ COMMANDS:
     dataset    generate dataset sample specs as JSON
                  --samples <n>   number of samples     (default 200)
                  --seed <n>      master seed           (default 20170101)
+                 --threads <n>   generation threads    (default 1; any
+                                 thread count yields bit-identical output)
                  --out <path>    output JSON file      (default specs.json)
     inspect    describe one sample's host, parameters and campaign
                  --sample <i>    sample index          (default 0)
@@ -53,6 +55,9 @@ COMMANDS:
                  --fault <spec>  inject faults for resilience testing, e.g.
                                  nan_loss@step=40,panic_worker@epoch=2,kill@epoch=3
                                  (also via SNIA_FAULT)
+                 --render-cache <dir>     cache preprocessed stamps on disk;
+                                          hits are bit-identical to fresh
+                                          renders (also via SNIA_RENDER_CACHE)
                  --export-bundle <dir>    save the trained model as a serve
                                           bundle (manifest.json + weights.snia)
                  --export-requests <path> write the test split as JSONL serve
@@ -109,11 +114,15 @@ fn flag_u64(flags: &HashMap<String, String>, key: &str, default: u64) -> Result<
 fn build_dataset(flags: &HashMap<String, String>) -> Result<Dataset, String> {
     let n = flag_usize(flags, "samples", 200)?;
     let seed = flag_u64(flags, "seed", 20170101)?;
-    Ok(Dataset::generate(&DatasetConfig {
-        n_samples: n,
-        catalog_size: (n * 4).max(200),
-        seed,
-    }))
+    let threads = flag_usize(flags, "threads", 1)?.max(1);
+    Ok(Dataset::generate_with_threads(
+        &DatasetConfig {
+            n_samples: n,
+            catalog_size: (n * 4).max(200),
+            seed,
+        },
+        threads,
+    ))
 }
 
 fn cmd_dataset(flags: &HashMap<String, String>) -> Result<(), String> {
@@ -197,6 +206,10 @@ fn cmd_render(flags: &HashMap<String, String>) -> Result<(), String> {
 }
 
 fn cmd_classify(flags: &HashMap<String, String>) -> Result<(), String> {
+    if let Some(dir) = flags.get("render-cache") {
+        snia_repro::dataset::cache::configure(Some(std::path::Path::new(dir)))
+            .map_err(|e| format!("cannot create render cache {dir}: {e}"))?;
+    }
     let ds = build_dataset(flags)?;
     let epochs = flag_usize(flags, "epochs", 25)?;
     let hidden = flag_usize(flags, "hidden", 100)?;

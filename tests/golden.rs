@@ -10,6 +10,10 @@
 //!    inference for every request in the golden set, at batch sizes
 //!    {1, 7, 32} and across worker replicas — batching is a throughput
 //!    optimisation and must never change an answer.
+//! 3. Flux-CNN training through the render cache — cold fill, warm
+//!    re-read, and after deliberate on-disk corruption — must match the
+//!    cacheless run bit-for-bit: caching (like batching) must never
+//!    change an answer.
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -20,11 +24,14 @@ use serde::{Deserialize, Serialize};
 
 use snia_repro::core::classifier::LightCurveClassifier;
 use snia_repro::core::eval::auc;
+use snia_repro::core::flux_cnn::{FluxCnn, PoolKind};
 use snia_repro::core::joint::JointModel;
 use snia_repro::core::train::{
-    classifier_loss_acc, classifier_scores, feature_matrix, joint_batch, joint_examples,
-    train_classifier, ClassifierTrainConfig,
+    classifier_loss_acc, classifier_scores, feature_matrix, flux_pair_refs, flux_predictions,
+    joint_batch, joint_examples, train_classifier, train_flux_cnn, ClassifierTrainConfig,
+    FluxTrainConfig,
 };
+use snia_repro::dataset::cache;
 use snia_repro::dataset::{split_indices, Dataset, DatasetConfig};
 use snia_repro::nn::loss::sigmoid_probs;
 use snia_repro::nn::{Mode, Tensor};
@@ -175,6 +182,117 @@ fn serve_scores_are_bit_identical_to_direct_inference() {
         }
         engine.shutdown();
     }
+}
+
+/// Trains the flux CNN from a fixed seed and returns the per-epoch loss
+/// bits plus the prediction bits on a held-out ref set — every f64
+/// captured exactly, so comparisons are bit-for-bit.
+fn flux_run_fingerprint(
+    ds: &Dataset,
+    train_refs: &[(usize, usize)],
+    val_refs: &[(usize, usize)],
+) -> Vec<u64> {
+    const CROP: usize = 32;
+    let mut rng = StdRng::seed_from_u64(SEED ^ 0xF1C);
+    let mut cnn = FluxCnn::new(CROP, PoolKind::Max, &mut rng);
+    let history = train_flux_cnn(
+        &mut cnn,
+        ds,
+        train_refs,
+        val_refs,
+        &FluxTrainConfig {
+            crop: CROP,
+            epochs: 2,
+            batch_size: 8,
+            lr: 1e-3,
+            pairs_per_sample: 2,
+            augment: true,
+            seed: SEED,
+            threads: 1,
+        },
+    );
+    let mut bits = Vec::new();
+    for r in &history {
+        bits.push(r.train_loss.to_bits());
+        bits.push(r.val_loss.to_bits());
+    }
+    for (true_mag, est_mag) in flux_predictions(&mut cnn, ds, val_refs, CROP, 4) {
+        bits.push(true_mag.to_bits());
+        bits.push(est_mag.to_bits());
+    }
+    bits
+}
+
+/// The render-cache acceptance pin: a fixed-seed flux-CNN run with
+/// `--render-cache` (cold fill, then warm re-reads, then after deliberate
+/// on-disk corruption) matches the cacheless run bit-for-bit, and the
+/// corrupted entry falls back to re-rendering instead of erroring.
+#[test]
+fn flux_training_with_render_cache_is_bit_identical() {
+    let ds = Dataset::generate(&DatasetConfig {
+        n_samples: 10,
+        catalog_size: 200,
+        seed: SEED,
+    });
+    let indices: Vec<usize> = (0..ds.len()).collect();
+    let (tr, va) = indices.split_at(8);
+    let train_refs = flux_pair_refs(&ds, tr, 2, SEED);
+    let val_refs = flux_pair_refs(&ds, va, 2, SEED + 1);
+
+    // Cacheless baseline.
+    cache::configure(None).expect("disable cache");
+    let baseline = flux_run_fingerprint(&ds, &train_refs, &val_refs);
+
+    let dir = std::env::temp_dir().join(format!("snia-golden-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    cache::configure(Some(&dir)).expect("create cache dir");
+
+    // Cold: every stamp is rendered once and written to the store.
+    let cold = flux_run_fingerprint(&ds, &train_refs, &val_refs);
+    assert_eq!(cold, baseline, "cold cache fill changed training results");
+    let entries: Vec<_> = std::fs::read_dir(&dir)
+        .expect("cache dir exists")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "stamp"))
+        .collect();
+    assert!(!entries.is_empty(), "cold run wrote no cache entries");
+
+    // Warm (memory): the in-process stamp cache serves every lookup.
+    let warm = flux_run_fingerprint(&ds, &train_refs, &val_refs);
+    assert_eq!(warm, baseline, "warm memory cache changed training results");
+
+    // Warm (disk): a fresh process would hit only the on-disk store.
+    cache::clear_memory();
+    let disk = flux_run_fingerprint(&ds, &train_refs, &val_refs);
+    assert_eq!(disk, baseline, "warm disk cache changed training results");
+
+    // Corruption: flip a byte in an entry the next run provably reads
+    // (the first training stamp); the CRC frame must reject it and the
+    // run must silently re-render, still bit-identical. (Concurrent
+    // golden tests may add entries of their own to the store, so the
+    // victim is addressed by key, not by directory listing.)
+    let (si, oi) = train_refs[0];
+    let key = cache::stamp_key(&ds.samples[si], oi, 32, true);
+    let victim = dir.join(format!("{key:016x}.stamp"));
+    let mut bytes = std::fs::read(&victim).expect("read cache entry");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xA5;
+    std::fs::write(&victim, &bytes).expect("corrupt cache entry");
+    cache::clear_memory();
+    let corrupt_before = cache::stats().corrupt;
+    let recovered = flux_run_fingerprint(&ds, &train_refs, &val_refs);
+    assert_eq!(
+        recovered, baseline,
+        "corrupted cache entry changed training results"
+    );
+    assert!(
+        cache::stats().corrupt > corrupt_before,
+        "corruption was not detected by the CRC frame"
+    );
+
+    cache::configure(None).expect("disable cache");
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// The same pin for the joint image model: serve scores equal direct

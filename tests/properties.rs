@@ -5,6 +5,7 @@
 use proptest::prelude::*;
 
 use snia_repro::core::eval::{accuracy, auc, roc_curve};
+use snia_repro::core::input::{mag_to_target, target_to_mag, MAG_RANGE};
 use snia_repro::dataset::schedule::ObservationSchedule;
 use snia_repro::dataset::split_indices;
 use snia_repro::lightcurve::template::delta_mag;
@@ -30,6 +31,25 @@ proptest! {
     #[test]
     fn flux_ordering_is_mag_ordering(a in 10.0f64..35.0, b in 10.0f64..35.0) {
         prop_assert_eq!(a < b, mag_to_flux(a) > mag_to_flux(b));
+    }
+
+    #[test]
+    fn mag_target_round_trips_inside_clamp_range(mag in 18.0f64..30.0) {
+        // Inside MAG_RANGE the pair is a genuine inverse (up to f32
+        // rounding: target carries ~1e-7 relative error, ×4 on the way
+        // back).
+        let back = target_to_mag(mag_to_target(mag));
+        prop_assert!((back - mag).abs() < 1e-5, "{mag} -> {back}");
+    }
+
+    #[test]
+    fn mag_target_saturates_outside_clamp_range(excess in 0.0f64..1e6) {
+        // Outside MAG_RANGE the forward map clamps, so the round trip
+        // returns the violated bound — the documented lossy behaviour.
+        let faint = target_to_mag(mag_to_target(MAG_RANGE.1 + excess));
+        prop_assert!((faint - MAG_RANGE.1).abs() < 1e-5, "faint {faint}");
+        let bright = target_to_mag(mag_to_target(MAG_RANGE.0 - excess));
+        prop_assert!((bright - MAG_RANGE.0).abs() < 1e-5, "bright {bright}");
     }
 
     // ---- light curves ----
@@ -303,6 +323,43 @@ proptest! {
             prop_assert_eq!(s.epochs_of(band).len(), 4);
         }
         prop_assert!(s.reference_mjd < s.season_start);
+    }
+
+    #[test]
+    fn schedules_never_exceed_two_bands_per_night(seed in any::<u64>()) {
+        // The paper's constraint: "no more than 2 band images are taken
+        // on the same day", and the two images of a night are distinct
+        // bands.
+        use rand::SeedableRng;
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let s = ObservationSchedule::generate(&mut rng, 59_000.0);
+        let mut by_night: std::collections::HashMap<u64, Vec<Band>> = Default::default();
+        for &(band, mjd) in &s.observations {
+            by_night.entry(mjd.to_bits()).or_default().push(band);
+        }
+        for bands in by_night.values() {
+            prop_assert!(bands.len() <= 2, "night with {} images", bands.len());
+            if bands.len() == 2 {
+                prop_assert!(bands[0] != bands[1]);
+            }
+        }
+    }
+
+    #[test]
+    fn crop_center_always_keeps_the_centre_pixel(
+        dim in 2usize..40,
+        frac in 0.0f64..1.0,
+    ) {
+        // For every parity combination the input centre pixel
+        // ⌊(dim−1)/2⌋ survives at ⌊(dim−1)/2⌋ − ⌊(dim−size)/2⌋ (top-left
+        // wins on odd slack; see Image::crop_center).
+        let size = 1 + ((dim - 1) as f64 * frac) as usize;
+        let img = Image::from_vec(dim, dim, (0..dim * dim).map(|i| i as f32).collect());
+        let c = img.crop_center(size);
+        let centre = (dim - 1) / 2;
+        let out = centre - (dim - size) / 2;
+        prop_assert!(out < size);
+        prop_assert_eq!(c.get(out, out), img.get(centre, centre));
     }
 
     #[test]
